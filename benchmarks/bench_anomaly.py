@@ -1,0 +1,33 @@
+"""E5 — the footnote-3 anomaly.
+
+Regenerates the paper's strongest concrete finding: the published
+readers-priority path-expression solution (Figure 1) "does not produce the
+same behavior as the readers_priority example presented by Courtois,
+Heymans, and Parnas".  Asserts that the anomaly schedule exists for the path
+solution, that the monitor solution is clean on the identical scenario, and
+that the schedule explorer can find the anomaly unaided.
+"""
+
+from conftest import emit
+
+from repro.problems.readers_writers.anomaly import (
+    render_report,
+    run_footnote3_comparison,
+)
+
+
+def test_e5_footnote3_anomaly(benchmark):
+    report = benchmark(run_footnote3_comparison, explore=False)
+    assert report.reproduced
+    assert report.path_order == ["W1:write", "W2:write", "R1:read"]
+    assert report.monitor_order == ["W1:write", "R1:read", "W2:write"]
+    emit("E5: footnote-3 anomaly", render_report(report))
+
+
+def test_e5_explorer_finds_witness(benchmark):
+    def search():
+        return run_footnote3_comparison(explore=True, max_runs=100)
+
+    report = benchmark(search)
+    assert report.explorer_witness is not None
+    assert report.explorer_runs >= 1

@@ -1,0 +1,84 @@
+"""E1 — the expressive-power matrix (§4.1 / §5 findings).
+
+Regenerates the mechanism × information-type matrix from the full solution
+registry and asserts the paper's §5 claims cell by cell:
+
+* monitors: every information type accessible; sync state only as hand-kept
+  local data (indirect);
+* base path expressions: request type direct, request time only via the
+  longest-waiting assumption (indirect), parameters and local state
+  inexpressible (NONE), priority constraints indirect;
+* serializers: everything accessible; crowds make sync state direct;
+  parameters need the later extensions (indirect);
+* open/extended paths close the base gaps (everything at least indirect).
+"""
+
+from conftest import emit
+
+from repro.core import (
+    ConstraintKind,
+    Directness,
+    InformationType,
+    render_expressive_power,
+    render_kind_support,
+)
+from repro.problems.registry import build_evaluator
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T3 = InformationType.PARAMETERS
+T4 = InformationType.SYNC_STATE
+T5 = InformationType.LOCAL_STATE
+T6 = InformationType.HISTORY
+
+DIRECT = Directness.DIRECT
+INDIRECT = Directness.INDIRECT
+NONE = Directness.UNSUPPORTED
+
+
+def compute_matrices():
+    report = build_evaluator().evaluate(run_verifiers=False)
+    return report.power, report.kinds
+
+
+def test_e1_expressive_power_matrix(benchmark):
+    power, kinds = benchmark(compute_matrices)
+
+    # Monitors (§5.2): "Monitors allow access to all of the information
+    # types described"; sync state hand-kept.
+    monitor = power["monitor"]
+    assert monitor[T1] is DIRECT
+    assert monitor[T2] is DIRECT
+    assert monitor[T3] is DIRECT          # priority wait
+    assert monitor[T4] is INDIRECT        # explicit counts
+    assert monitor[T5] is DIRECT
+    assert monitor[T6] is DIRECT
+
+    # Base path expressions (§5.1.2).
+    path = power["pathexpr"]
+    assert path[T1] is DIRECT             # request-type distinctions in paths
+    assert path[T2] is INDIRECT           # needs the selection assumption
+    assert path[T3] is NONE               # "no way to use parameter values"
+    assert path[T4] is INDIRECT           # automatic exclusion only
+    assert path[T5] is NONE               # "nor is local resource state"
+    assert path[T6] is DIRECT             # the one-slot buffer shines
+
+    # Serializers (§5.2).
+    serializer = power["serializer"]
+    assert serializer[T4] is DIRECT       # crowds
+    assert serializer[T2] is DIRECT       # queues
+    assert serializer[T3] is INDIRECT     # priority queues added later
+
+    # Extended paths fill the base gaps.
+    open_path = power["pathexpr_open"]
+    assert open_path[T3] is not None and open_path[T3] is not NONE
+    assert open_path[T5] is not None and open_path[T5] is not NONE
+
+    # Constraint kinds: paths have no direct priority construct (§5.1.1).
+    assert kinds["pathexpr"][ConstraintKind.PRIORITY] is INDIRECT
+    assert kinds["pathexpr"][ConstraintKind.EXCLUSION] is DIRECT
+    assert kinds["monitor"][ConstraintKind.PRIORITY] is DIRECT
+    assert kinds["serializer"][ConstraintKind.PRIORITY] is DIRECT
+
+    emit("E1: expressive power", render_expressive_power(power))
+    emit("E1: constraint-kind support", render_kind_support(kinds))

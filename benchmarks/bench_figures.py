@@ -1,0 +1,150 @@
+"""E3 / E4 — the paper's Figure 1 and Figure 2 as executable artifacts.
+
+Runs the transcribed path programs under contended workloads, asserts the
+behaviour the figures are *supposed* to deliver (exclusion safety, reader
+concurrency, the weak-priority discipline; writer starvation possibility for
+Figure 1), and times a full workload execution.
+"""
+
+from conftest import emit
+
+from repro.problems.readers_writers import (
+    BURST_PLAN,
+    FIGURE1_PATHS,
+    FIGURE2_PATHS,
+    PathReadersPriority,
+    PathWritersPriority,
+    run_workload,
+)
+from repro.runtime import Scheduler
+from repro.verify import check_mutual_exclusion, check_no_overtake
+
+
+def run_figure1():
+    return run_workload(lambda sched: PathReadersPriority(sched), BURST_PLAN)
+
+
+def run_figure2():
+    return run_workload(lambda sched: PathWritersPriority(sched), BURST_PLAN)
+
+
+def test_e3_figure1_readers_priority(benchmark):
+    result = benchmark(run_figure1)
+    assert not result.deadlocked
+    assert check_mutual_exclusion(
+        result.trace, "db", ["write"], ["read"]
+    ) == []
+    assert check_no_overtake(result.trace, "db", "read", "write") == []
+    emit(
+        "E3: Figure 1 (readers priority, path expressions)",
+        FIGURE1_PATHS
+        + "\naccess order: "
+        + " -> ".join(
+            "{}:{}".format(ev.pname, ev.obj.rsplit('.', 1)[1])
+            for ev in result.trace.projection("op_start")
+            if ev.obj in ("db.read", "db.write")
+        ),
+    )
+
+
+def test_e3_figure1_readers_share(benchmark):
+    """Reader concurrency: two long reads must overlap."""
+
+    def scenario():
+        sched = Scheduler()
+        impl = PathReadersPriority(sched)
+
+        def reader():
+            yield from impl.read(work=5)
+
+        sched.spawn(reader, name="R1")
+        sched.spawn(reader, name="R2")
+        return sched.run()
+
+    result = benchmark(scenario)
+    starts = result.trace.filter(kind="op_start", obj="db.read")
+    ends = result.trace.filter(kind="op_end", obj="db.read")
+    assert starts[1].seq < ends[0].seq
+
+
+def test_e3_figure1_writer_starvation_possible(benchmark):
+    """The spec 'allows writers to starve': a steady reader stream keeps a
+    writer out indefinitely."""
+
+    def scenario():
+        sched = Scheduler()
+        impl = PathReadersPriority(sched)
+
+        def reader_stream(rounds):
+            def body():
+                for __ in range(rounds):
+                    yield from impl.read(work=2)
+            return body
+
+        def writer():
+            yield
+            yield from impl.write(1, work=1)
+
+        # Two overlapping readers keep the burst open for many rounds.
+        sched.spawn(reader_stream(6), name="Ra")
+        sched.spawn(reader_stream(6), name="Rb")
+        sched.spawn(writer, name="W")
+        return sched.run()
+
+    result = benchmark(scenario)
+    write_start = result.trace.first(kind="op_start", obj="db.write")
+    last_read_end = result.trace.last(kind="op_end", obj="db.read")
+    # The writer only got in after the reader stream dried up entirely.
+    assert write_start.seq > last_read_end.seq
+
+
+def test_e4_figure2_writers_priority(benchmark):
+    result = benchmark(run_figure2)
+    assert not result.deadlocked
+    assert check_mutual_exclusion(
+        result.trace, "db", ["write"], ["read"]
+    ) == []
+    assert check_no_overtake(result.trace, "db", "write", "read") == []
+    emit(
+        "E4: Figure 2 (writers priority, path expressions)",
+        FIGURE2_PATHS
+        + "\naccess order: "
+        + " -> ".join(
+            "{}:{}".format(ev.pname, ev.obj.rsplit('.', 1)[1])
+            for ev in result.trace.projection("op_start")
+            if ev.obj in ("db.read", "db.write")
+        ),
+    )
+
+
+def test_e4_figure2_writers_block_new_readers(benchmark):
+    """While writers queue, arriving readers wait (the mirror discipline)."""
+
+    def scenario():
+        sched = Scheduler()
+        impl = PathWritersPriority(sched)
+        order = []
+
+        def early_reader():
+            yield from impl.read(work=6)
+            order.append("R1")
+
+        def writer():
+            yield
+            yield from impl.write(1, work=1)
+            order.append("W")
+
+        def late_reader():
+            yield
+            yield
+            yield from impl.read(work=1)
+            order.append("R2")
+
+        sched.spawn(early_reader, name="R1")
+        sched.spawn(writer, name="W")
+        sched.spawn(late_reader, name="R2")
+        sched.run()
+        return order
+
+    order = benchmark(scenario)
+    assert order.index("W") < order.index("R2")

@@ -1,0 +1,68 @@
+"""E6 — modification distance (the §4.2 probes, quantified).
+
+Regenerates the table: for each mechanism, the cost of turning the
+readers-priority solution into writers-priority and into FCFS.  The paper's
+shape assertions:
+
+* path expressions: ~100% of the solution touched in BOTH probes
+  ("changing every synchronization procedure and every path");
+* monitors: the priority flip is tiny; the FCFS change is large (the T1×T2
+  conflict);
+* serializers: both changes are small and the exclusion core survives;
+* semaphores: the CHP priority flip rewrites nearly everything.
+"""
+
+from conftest import emit
+
+from repro.analysis import run_probes
+from repro.problems.registry import all_solutions
+
+
+def compute():
+    descriptions = [entry.description for entry in all_solutions()]
+    results = run_probes(descriptions)
+    table = {}
+    for probe in results:
+        if probe.report is not None:
+            table[(probe.mechanism, probe.probe)] = probe.report
+    return table
+
+
+def test_e6_modification_distance(benchmark):
+    table = benchmark(compute)
+    flip = ("readers_priority", "writers_priority")
+    to_fcfs = ("readers_priority", "rw_fcfs")
+
+    assert table[("pathexpr", flip)].change_fraction == 1.0
+    assert table[("pathexpr", to_fcfs)].change_fraction == 1.0
+
+    monitor_flip = table[("monitor", flip)]
+    assert monitor_flip.change_fraction < 0.3
+    assert monitor_flip.shared_constraints_stable
+    monitor_fcfs = table[("monitor", to_fcfs)]
+    assert monitor_fcfs.change_fraction > 0.5  # the conflict case
+
+    serializer_flip = table[("serializer", flip)]
+    assert serializer_flip.change_fraction < 0.5
+    assert serializer_flip.shared_constraints_stable
+    serializer_fcfs = table[("serializer", to_fcfs)]
+    assert serializer_fcfs.change_fraction < 0.5
+    assert serializer_fcfs.shared_constraints_stable
+
+    semaphore_flip = table[("semaphore", flip)]
+    assert semaphore_flip.change_fraction > 0.8
+
+    # Ordering claim: paths cost strictly more than monitors/serializers on
+    # the priority flip; on the FCFS probe serializers beat monitors.
+    assert (
+        table[("pathexpr", flip)].change_fraction
+        > table[("serializer", flip)].change_fraction
+        > table[("monitor", flip)].change_fraction
+    )
+    assert (
+        table[("serializer", to_fcfs)].change_fraction
+        < table[("monitor", to_fcfs)].change_fraction
+    )
+
+    body = "\n\n".join(report.render() for report in table.values())
+    emit("E6: modification distance", body)

@@ -1,0 +1,48 @@
+"""E7 — nested monitor calls (§5.2).
+
+Regenerates the three-way comparison: naive nested monitors deadlock; the
+§2 protected-resource structure avoids the deadlock; serializer
+crowds avoid it by construction.
+"""
+
+from conftest import emit
+
+from repro.problems.hierarchy import (
+    run_layered_protected,
+    run_nested_monitors,
+    run_serializer_nested,
+)
+
+
+def compute():
+    return (
+        run_nested_monitors(),
+        run_layered_protected(),
+        run_serializer_nested(),
+    )
+
+
+def test_e7_nested_monitor_calls(benchmark):
+    nested, layered, serializer = benchmark(compute)
+
+    assert nested.deadlocked
+    assert set(nested.blocked) == {"consumer0", "producer"}
+
+    assert not layered.deadlocked
+    assert layered.results["received"] == [42]
+
+    assert not serializer.deadlocked
+    assert serializer.results["received"] == [42]
+
+    lines = [
+        "naive nested monitors:       DEADLOCK  (blocked: {})".format(
+            ", ".join(nested.blocked)
+        ),
+        "section-2 layered structure: completes (received {})".format(
+            layered.results["received"]
+        ),
+        "serializer join_crowd:       completes (received {})".format(
+            serializer.results["received"]
+        ),
+    ]
+    emit("E7: nested monitor calls", "\n".join(lines))

@@ -1,0 +1,120 @@
+"""E13 — liveness quantified: starvation and waiting-time profiles.
+
+The paper states liveness properties qualitatively: readers-priority
+"allows writers to starve" (§5.1.1), and FCFS exists precisely to bound
+bypass.  This bench turns those statements into waiting-time numbers:
+
+* under both readers-priority solutions (path Figure 1 and the monitor), a
+  writer facing a sustained reader stream waits for the *entire* stream;
+* under the FCFS variants, maximum waits stay within a small factor of the
+  mean and nothing goes unserved;
+* the per-class waiting table is printed for all three disciplines.
+"""
+
+from conftest import emit
+
+from repro.problems.readers_writers import (
+    BURST_PLAN,
+    MonitorReadersPriority,
+    MonitorRWFcfs,
+    MonitorWritersPriority,
+    PathReadersPriority,
+    run_workload,
+)
+from repro.runtime import Scheduler
+from repro.verify import (
+    class_wait_summary,
+    starvation_report,
+    unserved_requests,
+    waiting_times,
+)
+
+
+def reader_stream_run(cls, rounds=6):
+    sched = Scheduler()
+    impl = cls(sched)
+
+    def reader_stream():
+        for __ in range(rounds):
+            yield from impl.read(work=2)
+
+    def writer():
+        yield
+        yield from impl.write(1, work=1)
+
+    sched.spawn(reader_stream, name="Ra")
+    sched.spawn(reader_stream, name="Rb")
+    sched.spawn(writer, name="W")
+    return sched.run()
+
+
+def compute():
+    out = {}
+    for label, cls in (
+        ("pathexpr readers_priority", PathReadersPriority),
+        ("monitor readers_priority", MonitorReadersPriority),
+    ):
+        result = reader_stream_run(cls)
+        out[label] = class_wait_summary(result.trace, "db", ["read", "write"])
+    fcfs_result = run_workload(
+        lambda sched: MonitorRWFcfs(sched), BURST_PLAN * 2
+    )
+    out["monitor rw_fcfs (burst)"] = class_wait_summary(
+        fcfs_result.trace, "db", ["read", "write"]
+    )
+    out["_fcfs_unserved"] = unserved_requests(
+        fcfs_result.trace, "db", ["read", "write"]
+    )
+    out["_fcfs_waits"] = waiting_times(
+        fcfs_result.trace, "db", ["read", "write"]
+    )
+    wp_result = reader_stream_run(MonitorWritersPriority)
+    out["monitor writers_priority"] = class_wait_summary(
+        wp_result.trace, "db", ["read", "write"]
+    )
+    out["_traces"] = {
+        "pathexpr readers_priority": reader_stream_run(PathReadersPriority),
+    }
+    return out
+
+
+def test_e13_starvation_profiles(benchmark):
+    data = benchmark(compute)
+
+    # Readers-priority starves the writer behind the whole stream.
+    for label in ("pathexpr readers_priority", "monitor readers_priority"):
+        summary = data[label]
+        assert summary["write"].max_wait > summary["read"].max_wait * 3, label
+
+    # Writers-priority inverts the profile: the writer jumps the stream.
+    wp = data["monitor writers_priority"]
+    assert wp["write"].max_wait < data["monitor readers_priority"]["write"].max_wait
+
+    # FCFS: everything served, and waits bounded by the queue ahead.
+    assert data["_fcfs_unserved"] == []
+    fcfs = data["monitor rw_fcfs (burst)"]
+    assert fcfs["read"].served + fcfs["write"].served == len(BURST_PLAN) * 2
+
+    lines = []
+    for label in (
+        "pathexpr readers_priority",
+        "monitor readers_priority",
+        "monitor writers_priority",
+        "monitor rw_fcfs (burst)",
+    ):
+        summary = data[label]
+        lines.append(label + ":")
+        for op in ("read", "write"):
+            s = summary[op]
+            lines.append(
+                "    {:<9} served={:<3} wait min/mean/max = "
+                "{}/{:.0f}/{}  unserved={}".format(
+                    op, s.served, s.min_wait, s.mean_wait, s.max_wait,
+                    s.unserved,
+                )
+            )
+    report_trace = data["_traces"]["pathexpr readers_priority"].trace
+    lines.append("")
+    lines.append("full waiting table (pathexpr readers_priority):")
+    lines.append(starvation_report(report_trace, "db", ["read", "write"]))
+    emit("E13: starvation and waiting-time profiles", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""E8 — the request-type × request-time conflict and two-stage queuing.
+
+§5.2: type distinctions need *separate* condition queues, arrival ordering
+needs a *single* queue, so problems needing both conflict; "the problem is
+solved by maintaining two stages of queuing."
+
+Regenerated three ways:
+
+* the naive single-queue monitor on the class-priority problem keeps global
+  FCFS but silently drops class priority (oracle FAILS);
+* the per-class-queue monitor solves class-priority + FCFS-within-class;
+* the rw_fcfs monitor needs ordering ACROSS types — only the two-stage
+  idiom (single queue + shadow type record) passes, while the serializer's
+  automatic signalling needs just one queue (no conflict at all).
+"""
+
+from conftest import emit
+
+from repro.problems.readers_writers import (
+    MonitorRWFcfs,
+    SerializerRWFcfs,
+    make_verifier as rw_verifier,
+)
+from repro.problems.staged_queue import (
+    MonitorSingleQueue,
+    MonitorStagedQueue,
+    make_verifier as staged_verifier,
+)
+
+
+def compute():
+    naive = staged_verifier(lambda s: MonitorSingleQueue(s))()
+    per_class = staged_verifier(lambda s: MonitorStagedQueue(s))()
+    two_stage = rw_verifier(lambda s: MonitorRWFcfs(s), "rw_fcfs")()
+    serializer = rw_verifier(lambda s: SerializerRWFcfs(s), "rw_fcfs")()
+    return naive, per_class, two_stage, serializer
+
+
+def test_e8_two_stage_queuing(benchmark):
+    naive, per_class, two_stage, serializer = benchmark(compute)
+
+    assert naive != [], "single queue must lose class priority"
+    assert per_class == []
+    assert two_stage == [], "two-stage queuing resolves the conflict"
+    assert serializer == [], "serializer: one queue suffices (no conflict)"
+
+    lines = [
+        "class-priority problem:",
+        "  single queue (type info discarded):   FAIL ({} violations)".format(
+            len(naive)
+        ),
+        "    e.g. {}".format(naive[0]),
+        "  queue per class:                      pass",
+        "ordering-across-types problem (rw_fcfs):",
+        "  monitor, two-stage queuing:           pass",
+        "  serializer, ONE queue + guarantees:   pass "
+        "(automatic signalling separates T1 from T2, section 5.2)",
+    ]
+    emit("E8: two-stage queuing", "\n".join(lines))

@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benches.
+
+Every bench module regenerates one row of the DESIGN.md experiment index
+(E1–E10): it *computes* the paper artifact, *asserts* the paper's claim
+about its shape, and *prints* the regenerated table (visible with
+``pytest benchmarks/ -s`` and in the captured output of failures).
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print one regenerated artifact with a banner."""
+    print()
+    print("#" * 72)
+    print("# " + title)
+    print("#" * 72)
+    print(body)

@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Worked example for METHODOLOGY.md: evaluate a brand-new mechanism.
+
+The candidate is a **polling guard lock** ("SpinGuard"): `enter(guard)`
+simply re-checks its guard in a yield loop — no queues, no signalling, the
+simplest conceivable conditional mutex.  We put it through the paper's
+methodology:
+
+1. solve three suite problems with it (bounded buffer, one-slot buffer,
+   FCFS resource);
+2. describe the solutions (components + constraint realizations);
+3. run the oracle batteries and the criteria;
+4. read off the verdict — and watch the FCFS battery expose the
+   mechanism's real deficiency (no queue = no arrival-order guarantee),
+   exactly the §4.1 "the attempt makes it obvious" effect.
+
+Run:  python examples/evaluate_your_own.py
+"""
+
+from repro.core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    Evaluator,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from repro.problems import bounded_buffer, fcfs_resource, one_slot_buffer
+from repro.problems.base import SolutionBase
+from repro.resources import BoundedBuffer, SlotBuffer
+from repro.runtime import Scheduler
+
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+T5 = InformationType.LOCAL_STATE
+T6 = InformationType.HISTORY
+
+
+# ----------------------------------------------------------------------
+# 0. The new mechanism: ~20 lines
+# ----------------------------------------------------------------------
+class SpinGuard:
+    """``enter(guard)`` polls until the lock is free and the guard holds.
+
+    Deliberately primitive: no wait queue, so who gets in after a release
+    is whoever the scheduler happens to run first.
+    """
+
+    def __init__(self, sched, name="spin"):
+        self._sched = sched
+        self.name = name
+        self._held = False
+
+    def enter(self, guard=None):
+        while self._held or (guard is not None and not guard()):
+            yield  # poll again next time we are scheduled
+        self._held = True
+
+    def leave(self):
+        self._held = False
+
+
+# ----------------------------------------------------------------------
+# 1. Suite solutions
+# ----------------------------------------------------------------------
+class SpinBoundedBuffer(SolutionBase):
+    problem = "bounded_buffer"
+    mechanism = "spinguard"
+
+    def __init__(self, sched, capacity=4, name="buf"):
+        super().__init__(sched, name)
+        self.buffer = BoundedBuffer(capacity)
+        self.lock = SpinGuard(sched, name + ".spin")
+
+    def put(self, item, work=0):
+        self._request("put", item)
+        yield from self.lock.enter(lambda: not self.buffer.full)
+        self._start("put")
+        yield from self.buffer.put(item)
+        yield from self._work(work)
+        self._finish("put")
+        self.lock.leave()
+
+    def get(self, work=0):
+        self._request("get")
+        yield from self.lock.enter(lambda: not self.buffer.empty)
+        self._start("get")
+        item = yield from self.buffer.get()
+        yield from self._work(work)
+        self._finish("get")
+        self.lock.leave()
+        return item
+
+
+class SpinOneSlotBuffer(SolutionBase):
+    problem = "one_slot_buffer"
+    mechanism = "spinguard"
+
+    def __init__(self, sched, name="slot"):
+        super().__init__(sched, name)
+        self.slot = SlotBuffer()
+        self.lock = SpinGuard(sched, name + ".spin")
+
+    def put(self, item):
+        self._request("put", item)
+        yield from self.lock.enter(lambda: not self.slot.occupied)
+        self._start("put")
+        yield from self.slot.put(item)
+        self._finish("put")
+        self.lock.leave()
+
+    def get(self):
+        self._request("get")
+        yield from self.lock.enter(lambda: self.slot.occupied)
+        self._start("get")
+        item = yield from self.slot.get()
+        self._finish("get")
+        self.lock.leave()
+        return item
+
+
+class SpinFcfsResource(SolutionBase):
+    """The doomed attempt: SpinGuard has no queue, so 'first come' is
+    whatever the scheduler feels like."""
+
+    problem = "fcfs_resource"
+    mechanism = "spinguard"
+
+    def __init__(self, sched, name="res"):
+        super().__init__(sched, name)
+        self.lock = SpinGuard(sched, name + ".spin")
+
+    def use(self, work=1):
+        self._request("use")
+        yield from self.lock.enter()
+        self._start("use")
+        yield from self._work(work)
+        self._finish("use")
+        self.lock.leave()
+
+
+# ----------------------------------------------------------------------
+# 2. Descriptions
+# ----------------------------------------------------------------------
+def spin_description(problem, realizations):
+    return SolutionDescription(
+        problem=problem,
+        mechanism="spinguard",
+        components=(
+            Component("lock:spin", "semaphore", "polling guard lock"),
+            Component("guard:condition", "guard", "re-polled predicate"),
+        ),
+        realizations=realizations,
+        modularity=ModularityProfile(False, True, False,
+                                     "lock calls at every point of use"),
+    )
+
+
+BUFFER_DESCRIPTION = spin_description("bounded_buffer", (
+    ConstraintRealization(
+        "buffer_bounds", ("guard:condition",), ("polled_guard",),
+        Directness.DIRECT, info_handling={T5: Directness.DIRECT},
+    ),
+    ConstraintRealization(
+        "buffer_mutex", ("lock:spin",), ("polled_guard",),
+        Directness.DIRECT, info_handling={T4: Directness.INDIRECT},
+    ),
+))
+
+SLOT_DESCRIPTION = spin_description("one_slot_buffer", (
+    ConstraintRealization(
+        "slot_alternation", ("guard:condition",), ("polled_guard",),
+        Directness.DIRECT, info_handling={T6: Directness.DIRECT},
+    ),
+))
+
+FCFS_DESCRIPTION = spin_description("fcfs_resource", (
+    ConstraintRealization(
+        "resource_mutex", ("lock:spin",), ("polled_guard",),
+        Directness.DIRECT, info_handling={T4: Directness.INDIRECT},
+    ),
+    ConstraintRealization(
+        "arrival_order", (), (),
+        Directness.UNSUPPORTED,
+        info_handling={T2: Directness.UNSUPPORTED},
+        notes="no queue: whoever polls first after a release wins",
+    ),
+))
+
+
+# ----------------------------------------------------------------------
+# 3. Run the methodology
+# ----------------------------------------------------------------------
+def main():
+    evaluator = Evaluator()
+    evaluator.add(
+        BUFFER_DESCRIPTION,
+        bounded_buffer.make_verifier(lambda s: SpinBoundedBuffer(s)),
+    )
+    evaluator.add(
+        SLOT_DESCRIPTION,
+        one_slot_buffer.make_verifier(lambda s: SpinOneSlotBuffer(s)),
+    )
+    evaluator.add(
+        FCFS_DESCRIPTION,
+        fcfs_resource.make_verifier(lambda s: SpinFcfsResource(s)),
+    )
+    report = evaluator.evaluate()
+    print(report.render())
+
+    print()
+    verdicts = {e.key: e.verified for e in report.entries}
+    print("bounded_buffer/spinguard verified:", verdicts["bounded_buffer/spinguard"])
+    print("one_slot_buffer/spinguard verified:", verdicts["one_slot_buffer/spinguard"])
+    print("fcfs_resource/spinguard verified:", verdicts["fcfs_resource/spinguard"],
+          " <- the attempt made the deficiency obvious (section 4.1)")
+    assert verdicts["bounded_buffer/spinguard"] is True
+    assert verdicts["one_slot_buffer/spinguard"] is True
+    # No queue -> arrival order is luck; the FCFS battery catches it.
+    assert verdicts["fcfs_resource/spinguard"] is False
+    failures = [e for e in report.failures()][0]
+    print("\nexample violation:", failures.violations[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``evaluate``      — run the full methodology (verifies all solutions,
+  prints the §5-style tables).  ``--fast`` skips the verifier batteries.
+* ``coverage``      — the footnote-2 problem/information-type matrix.
+* ``independence``  — the §4.2 constraint-independence table.
+* ``anomaly``       — the footnote-3 demonstration (experiment E5).
+* ``pairs``         — the §4.2 pairwise information-type check.
+* ``list``          — every registered solution.
+* ``timeline``      — render one solution's schedule as an ASCII Gantt
+  chart (``--problem``/``--mechanism`` select the solution).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .analysis import (
+        render_independence,
+        summarize_independence,
+    )
+    from .problems.registry import all_solutions, build_evaluator
+
+    report = build_evaluator().evaluate(run_verifiers=not args.fast)
+    descriptions = [e.description for e in all_solutions()]
+    report.extras["Constraint independence (section 4.2)"] = (
+        render_independence(summarize_independence(descriptions))
+        .split("\n", 2)[2]
+    )
+    print(report.render())
+    failures = report.failures()
+    if failures:
+        print("\nFAILED:", [e.key for e in failures])
+        return 1
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from .core import coverage_matrix, render_coverage, uncovered_types
+
+    print(render_coverage(coverage_matrix()))
+    gaps = uncovered_types()
+    print(
+        "\nuncovered information types:",
+        ", ".join(t.short for t in gaps) if gaps else "none (complete suite)",
+    )
+    return 0
+
+
+def _cmd_independence(args: argparse.Namespace) -> int:
+    from .analysis import render_independence, summarize_independence
+    from .problems.registry import all_solutions
+
+    descriptions = [e.description for e in all_solutions()]
+    print(render_independence(summarize_independence(descriptions)))
+    return 0
+
+
+def _cmd_anomaly(args: argparse.Namespace) -> int:
+    from .problems.readers_writers.anomaly import (
+        render_report,
+        run_footnote3_comparison,
+    )
+
+    report = run_footnote3_comparison(explore=not args.fast)
+    print(render_report(report))
+    return 0 if report.reproduced else 1
+
+
+def _cmd_pairs(args: argparse.Namespace) -> int:
+    from .core import conflicting_pairs, pair_coverage, render_pair_coverage
+    from .problems.registry import all_solutions
+
+    descriptions = [e.description for e in all_solutions()]
+    print(render_pair_coverage(
+        pair_coverage(), conflicting_pairs(descriptions)
+    ))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .core import ascii_table
+    from .problems.registry import all_solutions
+
+    rows = [
+        [entry.problem, entry.mechanism, entry.notes]
+        for entry in all_solutions()
+    ]
+    print(ascii_table(["problem", "mechanism", "notes"], rows,
+                      "Registered solutions"))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .problems.readers_writers import BURST_PLAN, run_workload
+    from .problems.registry import get_solution
+    from .runtime import render_timeline
+
+    try:
+        entry = get_solution(args.problem, args.mechanism)
+    except KeyError:
+        print("no such solution: {}/{}".format(args.problem, args.mechanism))
+        return 1
+    if args.problem not in ("readers_priority", "writers_priority", "rw_fcfs"):
+        print("timeline currently supports the readers/writers family")
+        return 1
+    result = run_workload(entry.factory, BURST_PLAN)
+    print(render_timeline(
+        result.trace, {"db.read": "R", "db.write": "W"}, width=args.width
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Evaluating Synchronization Mechanisms' "
+        "(Bloom, SOSP 1979)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="run the full methodology")
+    p_eval.add_argument("--fast", action="store_true",
+                        help="skip the verifier batteries")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_cov = sub.add_parser("coverage", help="footnote-2 coverage matrix")
+    p_cov.set_defaults(func=_cmd_coverage)
+
+    p_ind = sub.add_parser("independence", help="the section-4.2 table")
+    p_ind.set_defaults(func=_cmd_independence)
+
+    p_anom = sub.add_parser("anomaly", help="the footnote-3 demonstration")
+    p_anom.add_argument("--fast", action="store_true",
+                        help="skip the explorer search")
+    p_anom.set_defaults(func=_cmd_anomaly)
+
+    p_pairs = sub.add_parser("pairs", help="pairwise info-type check")
+    p_pairs.set_defaults(func=_cmd_pairs)
+
+    p_list = sub.add_parser("list", help="list registered solutions")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_tl = sub.add_parser("timeline", help="render one solution's schedule")
+    p_tl.add_argument("--problem", default="readers_priority")
+    p_tl.add_argument("--mechanism", default="monitor")
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Ease-of-use analytics (S11): structural diffing, constraint independence,
+and solution-size metrics — the computable form of §4.2."""
+
+from .diffing import (
+    ComponentDiff,
+    ModificationReport,
+    diff_components,
+    modification_report,
+)
+from .independence import (
+    IndependenceSummary,
+    ProbeResult,
+    detect_info_conflicts,
+    render_independence,
+    run_probes,
+    summarize_independence,
+)
+from .metrics import (
+    SolutionSize,
+    measure,
+    measure_all,
+    per_mechanism_totals,
+    render_sizes,
+    render_totals,
+)
+
+__all__ = [
+    "ComponentDiff",
+    "IndependenceSummary",
+    "ModificationReport",
+    "ProbeResult",
+    "SolutionSize",
+    "detect_info_conflicts",
+    "diff_components",
+    "measure",
+    "measure_all",
+    "modification_report",
+    "per_mechanism_totals",
+    "render_independence",
+    "render_sizes",
+    "render_totals",
+    "run_probes",
+    "summarize_independence",
+]

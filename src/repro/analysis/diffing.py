@@ -1,0 +1,158 @@
+"""Structural diffing of solutions.
+
+The §4.2 test: "examine solutions to two similar synchronization problems.
+If the problems share some constraints, but differ in others, then the
+common constraints should be similarly implemented in both solutions."
+
+Components are compared by name, with kind+text equality deciding whether a
+same-named component *changed*.  The resulting
+:class:`ModificationReport` quantifies the cost of turning one solution into
+the other — the machine-checkable stand-in for the paper's "how difficult is
+the modification" judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..core import Component, SolutionDescription
+
+
+@dataclass(frozen=True)
+class ComponentDiff:
+    """Set-level difference between two component inventories."""
+
+    added: Tuple[str, ...]      # present only in the target
+    removed: Tuple[str, ...]    # present only in the source
+    changed: Tuple[str, ...]    # same name, different kind or text
+    unchanged: Tuple[str, ...]  # identical in both
+
+    @property
+    def touched(self) -> int:
+        """Components that must be written or rewritten for the change."""
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+    @property
+    def total(self) -> int:
+        """Distinct component names across both solutions."""
+        return self.touched + len(self.unchanged)
+
+    @property
+    def change_fraction(self) -> float:
+        """0.0 = identical solutions, 1.0 = nothing survives the change."""
+        if self.total == 0:
+            return 0.0
+        return self.touched / self.total
+
+
+def diff_components(
+    source: Iterable[Component], target: Iterable[Component]
+) -> ComponentDiff:
+    """Diff two component inventories by name, then by (kind, text)."""
+    by_name_source: Dict[str, Component] = {c.name: c for c in source}
+    by_name_target: Dict[str, Component] = {c.name: c for c in target}
+    added = sorted(set(by_name_target) - set(by_name_source))
+    removed = sorted(set(by_name_source) - set(by_name_target))
+    changed: List[str] = []
+    unchanged: List[str] = []
+    for name in sorted(set(by_name_source) & set(by_name_target)):
+        a, b = by_name_source[name], by_name_target[name]
+        if a.kind == b.kind and a.text == b.text:
+            unchanged.append(name)
+        else:
+            changed.append(name)
+    return ComponentDiff(
+        tuple(added), tuple(removed), tuple(changed), tuple(unchanged)
+    )
+
+
+@dataclass
+class ModificationReport:
+    """The cost of modifying one solution into another (same mechanism,
+    different problem — the §4.2 probe)."""
+
+    mechanism: str
+    source_problem: str
+    target_problem: str
+    diff: ComponentDiff
+    shared_constraints: Tuple[str, ...] = ()
+    stable_shared: Tuple[str, ...] = ()
+    unstable_shared: Tuple[str, ...] = ()
+
+    @property
+    def change_fraction(self) -> float:
+        """Fraction of the combined component inventory touched."""
+        return self.diff.change_fraction
+
+    @property
+    def shared_constraints_stable(self) -> bool:
+        """True when every shared constraint kept its implementation —
+        the constraint-independence criterion itself."""
+        return not self.unstable_shared
+
+    def render(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            "{}: {} -> {}".format(
+                self.mechanism, self.source_problem, self.target_problem
+            ),
+            "  components touched: {}/{} ({:.0%})".format(
+                self.diff.touched, self.diff.total, self.change_fraction
+            ),
+        ]
+        if self.diff.changed:
+            lines.append("  changed: {}".format(", ".join(self.diff.changed)))
+        if self.diff.added:
+            lines.append("  added:   {}".format(", ".join(self.diff.added)))
+        if self.diff.removed:
+            lines.append("  removed: {}".format(", ".join(self.diff.removed)))
+        for cid in self.shared_constraints:
+            status = "STABLE" if cid in self.stable_shared else "REWRITTEN"
+            lines.append("  shared constraint {}: {}".format(cid, status))
+        return "\n".join(lines)
+
+
+def modification_report(
+    source: SolutionDescription,
+    target: SolutionDescription,
+    shared_constraints: Iterable[str] = (),
+) -> ModificationReport:
+    """Diff two solutions and judge stability of their shared constraints.
+
+    A shared constraint is *stable* when the set of components realizing it
+    is identical (same names, kinds, and texts) in both solutions.
+    """
+    if source.mechanism != target.mechanism:
+        raise ValueError(
+            "modification probes compare solutions under ONE mechanism; got "
+            "{} vs {}".format(source.mechanism, target.mechanism)
+        )
+    diff = diff_components(source.components, target.components)
+    stable: List[str] = []
+    unstable: List[str] = []
+    shared = tuple(shared_constraints)
+    for cid in shared:
+        try:
+            comps_a = {
+                (c.name, c.kind, c.text) for c in source.components_for(cid)
+            }
+            comps_b = {
+                (c.name, c.kind, c.text) for c in target.components_for(cid)
+            }
+        except KeyError:
+            unstable.append(cid)
+            continue
+        if comps_a == comps_b:
+            stable.append(cid)
+        else:
+            unstable.append(cid)
+    return ModificationReport(
+        mechanism=source.mechanism,
+        source_problem=source.problem,
+        target_problem=target.problem,
+        diff=diff,
+        shared_constraints=shared,
+        stable_shared=tuple(stable),
+        unstable_shared=tuple(unstable),
+    )

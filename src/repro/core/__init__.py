@@ -1,0 +1,109 @@
+"""The paper's primary contribution: the evaluation methodology (S10).
+
+Sections of the paper map to modules as follows:
+
+* §3 information types → :mod:`repro.core.information`
+* §3 constraint taxonomy → :mod:`repro.core.constraints`
+* §3/footnote 2 problem catalog → :mod:`repro.core.problems`,
+  :mod:`repro.core.catalog`
+* §4 criteria → :mod:`repro.core.criteria`
+* §2 modularity + solution structure → :mod:`repro.core.solution`
+* the engine and reports → :mod:`repro.core.evaluation`,
+  :mod:`repro.core.report`
+"""
+
+from .catalog import (
+    ALARM_CLOCK,
+    BOUNDED_BUFFER,
+    DISK_SCHEDULER,
+    FCFS_RESOURCE,
+    FOOTNOTE2_SUITE,
+    MODIFICATION_PROBES,
+    ONE_SLOT_BUFFER,
+    PROBLEM_CATALOG,
+    READERS_PRIORITY_DB,
+    RW_FCFS_DB,
+    STAGED_QUEUE,
+    WRITERS_PRIORITY_DB,
+    coverage_matrix,
+    uncovered_types,
+)
+from .constraints import Constraint, ConstraintKind
+from .criteria import (
+    constraint_kind_support,
+    expressive_power,
+    gate_usage,
+    modularity_summary,
+)
+from .evaluation import EvaluationEntry, EvaluationReport, Evaluator
+from .information import ALL_INFORMATION_TYPES, InformationType
+from .pairs import (
+    all_pairs,
+    conflicting_pairs,
+    pair_coverage,
+    render_pair_coverage,
+    uncovered_pairs,
+)
+from .problems import ProblemSpec
+from .report import (
+    ascii_table,
+    render_coverage,
+    render_expressive_power,
+    render_kind_support,
+    render_modularity,
+)
+from .solution import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    ModularityProfile,
+    SolutionDescription,
+    best,
+    worst,
+)
+
+__all__ = [
+    "ALARM_CLOCK",
+    "ALL_INFORMATION_TYPES",
+    "BOUNDED_BUFFER",
+    "Component",
+    "Constraint",
+    "ConstraintKind",
+    "ConstraintRealization",
+    "DISK_SCHEDULER",
+    "Directness",
+    "EvaluationEntry",
+    "EvaluationReport",
+    "Evaluator",
+    "FCFS_RESOURCE",
+    "FOOTNOTE2_SUITE",
+    "InformationType",
+    "MODIFICATION_PROBES",
+    "ModularityProfile",
+    "ONE_SLOT_BUFFER",
+    "PROBLEM_CATALOG",
+    "ProblemSpec",
+    "READERS_PRIORITY_DB",
+    "RW_FCFS_DB",
+    "STAGED_QUEUE",
+    "SolutionDescription",
+    "WRITERS_PRIORITY_DB",
+    "all_pairs",
+    "ascii_table",
+    "conflicting_pairs",
+    "pair_coverage",
+    "render_pair_coverage",
+    "uncovered_pairs",
+    "best",
+    "constraint_kind_support",
+    "coverage_matrix",
+    "expressive_power",
+    "gate_usage",
+    "modularity_summary",
+    "render_coverage",
+    "render_expressive_power",
+    "render_kind_support",
+    "render_modularity",
+    "uncovered_types",
+    "worst",
+]

@@ -1,0 +1,71 @@
+"""Constraint taxonomy (paper §3).
+
+A synchronization scheme is a set of constraints, each of one of two kinds:
+
+* **exclusion** — ``if condition then exclude process A``; maintains
+  consistency (a correctness property);
+* **priority** — ``if condition then A has priority over B``; schedules
+  access (usually an efficiency/fairness property).
+
+Each constraint is tagged with the :class:`InformationType` values its
+condition refers to.  Constraints are *specification-level* objects: problem
+specs are made of them, and solutions report how they realized each one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from .information import InformationType
+
+
+class ConstraintKind(enum.Enum):
+    """The two main classes of constraints (paper §3)."""
+
+    EXCLUSION = "exclusion"
+    PRIORITY = "priority"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One synchronization constraint in a problem specification.
+
+    Attributes:
+        id: short stable identifier, unique within a problem (and reused
+            across problems that share the constraint — sharing is what the
+            ease-of-use analysis keys on, §4.2).
+        kind: exclusion or priority.
+        info_types: the information types the condition references.
+        description: the constraint in prose, as the paper states it.
+    """
+
+    id: str
+    kind: ConstraintKind
+    info_types: FrozenSet[InformationType]
+    description: str
+
+    @staticmethod
+    def exclusion(
+        id: str, info: Iterable[InformationType], description: str
+    ) -> "Constraint":
+        """Build an exclusion constraint."""
+        return Constraint(
+            id, ConstraintKind.EXCLUSION, frozenset(info), description
+        )
+
+    @staticmethod
+    def priority(
+        id: str, info: Iterable[InformationType], description: str
+    ) -> "Constraint":
+        """Build a priority constraint."""
+        return Constraint(
+            id, ConstraintKind.PRIORITY, frozenset(info), description
+        )
+
+    def __str__(self) -> str:
+        tags = ",".join(sorted(t.short for t in self.info_types))
+        return "[{}:{}] {} ({})".format(
+            self.kind.value, self.id, self.description, tags
+        )

@@ -1,0 +1,146 @@
+"""Evaluation criteria (paper §4).
+
+Two computable criteria over :class:`SolutionDescription` sets:
+
+* **Expressive power** (§4.1): per mechanism and information type, the most
+  direct handling any solution in the suite achieved.  "If there is no
+  direct way to use a certain kind of information, it should become obvious
+  when an attempt is made to implement a solution requiring it" — here the
+  attempt is the recorded realization, and the judgement is its
+  ``info_handling`` entry.
+* **Constraint-kind support**: the same aggregation keyed by
+  exclusion/priority, capturing findings like "path expressions provide no
+  direct means of expressing priority constraints" (§5.1.1).
+
+Constraint independence — the §4.2 ease-of-use criterion — needs *pairs* of
+solutions and lives in :mod:`repro.analysis.independence`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from .catalog import PROBLEM_CATALOG
+from .constraints import ConstraintKind
+from .information import ALL_INFORMATION_TYPES, InformationType
+from .problems import ProblemSpec
+from .solution import Directness, SolutionDescription, best
+
+PowerMatrix = Dict[str, Dict[InformationType, Optional[Directness]]]
+KindMatrix = Dict[str, Dict[ConstraintKind, Optional[Directness]]]
+
+
+def _info_judgements(
+    description: SolutionDescription,
+    catalog: Mapping[str, ProblemSpec],
+):
+    """Yield (info_type, directness) pairs contributed by one solution."""
+    spec = catalog.get(description.problem)
+    for realization in description.realizations:
+        explicit = realization.info_handling
+        if explicit:
+            for info_type, judgement in explicit.items():
+                yield info_type, judgement
+            continue
+        # Fall back to the constraint's declared info types, all judged at
+        # the realization's overall directness.
+        if spec is None:
+            continue
+        try:
+            constraint = spec.constraint(realization.constraint_id)
+        except KeyError:
+            continue
+        for info_type in constraint.info_types:
+            yield info_type, realization.directness
+
+
+def expressive_power(
+    descriptions: Iterable[SolutionDescription],
+    catalog: Mapping[str, ProblemSpec] = PROBLEM_CATALOG,
+) -> PowerMatrix:
+    """Mechanism × information type → best achieved directness.
+
+    ``None`` means the suite never exercised that type for that mechanism —
+    a coverage gap the methodology is designed to expose (§1).
+    """
+    matrix: PowerMatrix = {}
+    for description in descriptions:
+        row = matrix.setdefault(
+            description.mechanism,
+            {t: None for t in ALL_INFORMATION_TYPES},
+        )
+        for info_type, judgement in _info_judgements(description, catalog):
+            current = row[info_type]
+            row[info_type] = (
+                judgement if current is None else best(current, judgement)
+            )
+    return matrix
+
+
+def constraint_kind_support(
+    descriptions: Iterable[SolutionDescription],
+    catalog: Mapping[str, ProblemSpec] = PROBLEM_CATALOG,
+) -> KindMatrix:
+    """Mechanism × constraint kind → best achieved directness."""
+    matrix: KindMatrix = {}
+    for description in descriptions:
+        row = matrix.setdefault(
+            description.mechanism,
+            {kind: None for kind in ConstraintKind},
+        )
+        spec = catalog.get(description.problem)
+        if spec is None:
+            continue
+        for realization in description.realizations:
+            try:
+                constraint = spec.constraint(realization.constraint_id)
+            except KeyError:
+                continue
+            current = row[constraint.kind]
+            row[constraint.kind] = (
+                realization.directness
+                if current is None
+                else best(current, realization.directness)
+            )
+    return matrix
+
+
+def modularity_summary(
+    descriptions: Iterable[SolutionDescription],
+) -> Dict[str, Dict[str, bool]]:
+    """Mechanism → the §2 modularity judgement, aggregated conservatively
+    (a requirement holds for the mechanism only if it holds in *every*
+    recorded solution)."""
+    summary: Dict[str, Dict[str, bool]] = {}
+    for description in descriptions:
+        profile = description.modularity
+        row = summary.setdefault(
+            description.mechanism,
+            {
+                "synchronization_with_resource": True,
+                "resource_separable": True,
+                "enforced_by_mechanism": True,
+            },
+        )
+        row["synchronization_with_resource"] &= (
+            profile.synchronization_with_resource
+        )
+        row["resource_separable"] &= profile.resource_separable
+        row["enforced_by_mechanism"] &= profile.enforced_by_mechanism
+    return summary
+
+
+def gate_usage(
+    descriptions: Iterable[SolutionDescription],
+) -> Dict[str, int]:
+    """Mechanism → number of extra synchronization procedures ("gates")
+    across all its solutions.  §5.1.1: needing gates signals indirect
+    expression and blurred resource/synchronization separation."""
+    counts: Dict[str, int] = {}
+    for description in descriptions:
+        n = sum(
+            1 for comp in description.components
+            if comp.kind == "sync_procedure"
+        )
+        counts[description.mechanism] = counts.get(description.mechanism, 0) + n
+    return counts

@@ -1,0 +1,160 @@
+"""The evaluation engine: run the methodology end to end.
+
+An :class:`Evaluator` collects *entries* — each a solution description plus a
+verifier callable that exercises the actual implementation and returns a list
+of property violations — then produces an :class:`EvaluationReport` holding:
+
+* per-solution verification outcomes (do the solutions actually work?),
+* the expressive-power matrix (§4.1),
+* the constraint-kind support matrix,
+* the modularity summary (§2),
+* gate usage counts (§5.1.1's "synchronization procedures" signal).
+
+Constraint-independence and modification-distance results (§4.2) are
+computed by :mod:`repro.analysis` and can be attached to the report before
+rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .catalog import PROBLEM_CATALOG
+from .criteria import (
+    KindMatrix,
+    PowerMatrix,
+    constraint_kind_support,
+    expressive_power,
+    gate_usage,
+    modularity_summary,
+)
+from .problems import ProblemSpec
+from .report import (
+    ascii_table,
+    render_expressive_power,
+    render_kind_support,
+    render_modularity,
+)
+from .solution import SolutionDescription
+
+Verifier = Callable[[], List[str]]
+
+
+@dataclass
+class EvaluationEntry:
+    """One solution under evaluation."""
+
+    description: SolutionDescription
+    verifier: Optional[Verifier] = None
+    violations: List[str] = field(default_factory=list)
+    verified: Optional[bool] = None
+
+    @property
+    def key(self) -> str:
+        return "{}/{}".format(
+            self.description.problem, self.description.mechanism
+        )
+
+
+@dataclass
+class EvaluationReport:
+    """Everything the methodology produces for one mechanism set."""
+
+    entries: List[EvaluationEntry]
+    power: PowerMatrix
+    kinds: KindMatrix
+    modularity: Dict[str, Dict[str, bool]]
+    gates: Dict[str, int]
+    extras: Dict[str, str] = field(default_factory=dict)
+
+    def mechanisms(self) -> List[str]:
+        """Mechanisms covered, sorted."""
+        return sorted({e.description.mechanism for e in self.entries})
+
+    def failures(self) -> List[EvaluationEntry]:
+        """Entries whose verifier reported violations."""
+        return [e for e in self.entries if e.verified is False]
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        sections = []
+        rows = []
+        for entry in self.entries:
+            status = {True: "ok", False: "FAIL", None: "unverified"}[
+                entry.verified
+            ]
+            detail = "; ".join(entry.violations[:2])
+            rows.append([entry.key, status, detail])
+        sections.append(
+            ascii_table(
+                ["solution", "verified", "violations"],
+                rows,
+                "Solution verification",
+            )
+        )
+        sections.append(render_expressive_power(self.power))
+        sections.append(render_kind_support(self.kinds))
+        sections.append(render_modularity(self.modularity))
+        gate_rows = [
+            [mech, str(count)] for mech, count in sorted(self.gates.items())
+        ]
+        sections.append(
+            ascii_table(
+                ["mechanism", "sync procedures (gates)"],
+                gate_rows,
+                "Gate usage (section 5.1.1 signal)",
+            )
+        )
+        for title, body in self.extras.items():
+            sections.append(title + "\n" + "=" * len(title) + "\n" + body)
+        return "\n\n".join(sections)
+
+
+class Evaluator:
+    """Collects solutions and runs the complete methodology."""
+
+    def __init__(
+        self, catalog: Mapping[str, ProblemSpec] = PROBLEM_CATALOG
+    ) -> None:
+        self.catalog = catalog
+        self._entries: List[EvaluationEntry] = []
+
+    def add(
+        self,
+        description: SolutionDescription,
+        verifier: Optional[Verifier] = None,
+    ) -> None:
+        """Register one solution.
+
+        Args:
+            description: the machine-readable solution structure.  It is
+                validated immediately; inconsistencies raise ``ValueError``.
+            verifier: zero-argument callable that runs the implementation
+                and returns a list of property-violation strings (empty =
+                correct).
+        """
+        issues = description.validate()
+        if issues:
+            raise ValueError(
+                "invalid solution description {}/{}: {}".format(
+                    description.problem, description.mechanism,
+                    "; ".join(issues),
+                )
+            )
+        self._entries.append(EvaluationEntry(description, verifier))
+
+    def evaluate(self, run_verifiers: bool = True) -> EvaluationReport:
+        """Run verifiers (optionally) and compute all matrices."""
+        for entry in self._entries:
+            if run_verifiers and entry.verifier is not None:
+                entry.violations = list(entry.verifier())
+                entry.verified = not entry.violations
+        descriptions = [e.description for e in self._entries]
+        return EvaluationReport(
+            entries=list(self._entries),
+            power=expressive_power(descriptions, self.catalog),
+            kinds=constraint_kind_support(descriptions, self.catalog),
+            modularity=modularity_summary(descriptions),
+            gates=gate_usage(descriptions),
+        )

@@ -1,0 +1,74 @@
+"""The six information types of Section 3 of the paper.
+
+Synchronization constraints are conditional rules; the paper classifies them
+by the *kind of information* their conditions reference.  This taxonomy is
+the backbone of the whole methodology: the test-problem suite is chosen to
+cover it, and expressive power is defined over it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InformationType(enum.Enum):
+    """What a constraint's condition may refer to (paper §3, items 1-6)."""
+
+    REQUEST_TYPE = "T1"
+    """The access operation requested — e.g. "readers have priority over
+    writers" distinguishes requests by operation type."""
+
+    REQUEST_TIME = "T2"
+    """The time of a request relative to other events — most often used to
+    grant access in arrival order (first-come-first-served)."""
+
+    PARAMETERS = "T3"
+    """Arguments passed with the request — e.g. the track number in the disk
+    head scheduler, or the wake-up time in the alarm clock."""
+
+    SYNC_STATE = "T4"
+    """Synchronization state: information that exists only because the
+    resource is accessed concurrently — counts and identities of processes
+    currently accessing or waiting."""
+
+    LOCAL_STATE = "T5"
+    """Local state of the resource itself — present whether or not access is
+    concurrent, e.g. whether a buffer is full or empty."""
+
+    HISTORY = "T6"
+    """Whether a given event has occurred — completed operations, as opposed
+    to those still in progress (which are T4)."""
+
+    @property
+    def short(self) -> str:
+        """The compact tag used in tables (``T1`` … ``T6``)."""
+        return self.value
+
+    @property
+    def description(self) -> str:
+        """One-line gloss (first sentence of the docstring)."""
+        doc = _DESCRIPTIONS[self]
+        return doc
+
+    def __str__(self) -> str:
+        return "{} ({})".format(self.value, self.name.lower())
+
+
+_DESCRIPTIONS = {
+    InformationType.REQUEST_TYPE: "the access operation requested",
+    InformationType.REQUEST_TIME: "the times at which requests were made",
+    InformationType.PARAMETERS: "request parameters",
+    InformationType.SYNC_STATE: "the synchronization state of the resource",
+    InformationType.LOCAL_STATE: "the local state of the resource",
+    InformationType.HISTORY: "history information",
+}
+
+#: All six types in the paper's presentation order.
+ALL_INFORMATION_TYPES = (
+    InformationType.REQUEST_TYPE,
+    InformationType.REQUEST_TIME,
+    InformationType.PARAMETERS,
+    InformationType.SYNC_STATE,
+    InformationType.LOCAL_STATE,
+    InformationType.HISTORY,
+)

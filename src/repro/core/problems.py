@@ -1,0 +1,81 @@
+"""Problem specifications.
+
+A :class:`ProblemSpec` is the *specification* of a synchronization problem —
+its operations and constraints — independent of any mechanism.  The paper's
+central move (§1, §3) is to select a problem set that covers all information
+types "with a minimum of redundancy", so that an evaluation over the set is
+known to be complete; :mod:`repro.core.catalog` instantiates that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from .constraints import Constraint, ConstraintKind
+from .information import InformationType
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """A mechanism-independent synchronization problem.
+
+    Attributes:
+        name: stable identifier (``readers_priority``, ``bounded_buffer``…).
+        title: display title.
+        operations: the abstract-type operations of the shared resource.
+        constraints: the synchronization scheme as a constraint set.
+        source: citation for the problem, as given in the paper.
+        covers: the information types this problem was chosen to exercise
+            (paper footnote 2); a subset of the union of constraint tags
+            singled out as the *reason* the problem is in the suite.
+    """
+
+    name: str
+    title: str
+    operations: Tuple[str, ...]
+    constraints: Tuple[Constraint, ...]
+    source: str = ""
+    covers: FrozenSet[InformationType] = frozenset()
+
+    @property
+    def info_types(self) -> FrozenSet[InformationType]:
+        """Union of the information types of all constraints."""
+        out = frozenset()
+        for c in self.constraints:
+            out |= c.info_types
+        return out
+
+    @property
+    def exclusion_constraints(self) -> Tuple[Constraint, ...]:
+        """The exclusion (consistency) constraints."""
+        return tuple(
+            c for c in self.constraints if c.kind is ConstraintKind.EXCLUSION
+        )
+
+    @property
+    def priority_constraints(self) -> Tuple[Constraint, ...]:
+        """The priority (scheduling) constraints."""
+        return tuple(
+            c for c in self.constraints if c.kind is ConstraintKind.PRIORITY
+        )
+
+    def constraint(self, constraint_id: str) -> Constraint:
+        """Look up one constraint by id (raises ``KeyError`` if absent)."""
+        for c in self.constraints:
+            if c.id == constraint_id:
+                return c
+        raise KeyError(
+            "problem {!r} has no constraint {!r}".format(self.name, constraint_id)
+        )
+
+    def shared_constraints(self, other: "ProblemSpec") -> Tuple[str, ...]:
+        """Ids of constraints this problem shares with ``other``.
+
+        Problem pairs with shared constraints are the probes of the
+        ease-of-use analysis (§4.2): the shared constraint should be realized
+        identically in solutions to both problems.
+        """
+        mine = {c.id for c in self.constraints}
+        theirs = {c.id for c in other.constraints}
+        return tuple(sorted(mine & theirs))

@@ -1,0 +1,185 @@
+"""Machine-readable solution structure.
+
+The paper evaluates mechanisms by having a human read solutions and judge
+(a) how *directly* each constraint/information type is handled and (b) how
+*independent* the constraint implementations are.  To make those judgements
+reproducible, every solution in this library carries a
+:class:`SolutionDescription`: the inventory of its parts (paths, monitor
+procedures, conditions, queues, guards, state variables, …) and, per
+specification constraint, which parts realize it and through which mechanism
+constructs (see DESIGN.md §2, "Substitutions").
+
+The analysis layer (:mod:`repro.analysis`) computes directness matrices and
+modification distances purely from these descriptions — no human in the loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .information import InformationType
+
+
+class Directness(enum.Enum):
+    """How straightforwardly a constraint / information type is handled
+    (§4.1's expressive-power judgement, made discrete)."""
+
+    DIRECT = "direct"
+    """The mechanism has a construct for it and the solution uses it
+    (e.g. condition queues for request order, crowds for sync state)."""
+
+    INDIRECT = "indirect"
+    """Expressible, but only by stepping outside the mechanism's intended
+    style — extra synchronization procedures, hand-maintained counts,
+    encodings (the path-expression 'gates' of §5.1.1)."""
+
+    UNSUPPORTED = "unsupported"
+    """No reasonable realization within the mechanism."""
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """DIRECT(2) > INDIRECT(1) > UNSUPPORTED(0) — for aggregation."""
+        return {"direct": 2, "indirect": 1, "unsupported": 0}[self.value]
+
+
+def best(a: "Directness", b: "Directness") -> "Directness":
+    """The more direct of two judgements."""
+    return a if a.rank >= b.rank else b
+
+
+def worst(a: "Directness", b: "Directness") -> "Directness":
+    """The less direct of two judgements."""
+    return a if a.rank <= b.rank else b
+
+
+@dataclass(frozen=True)
+class Component:
+    """One identifiable part of a solution.
+
+    Attributes:
+        name: stable name within the solution (``path:exclusion``,
+            ``proc:start_read``, ``cond:ok_to_read``, ``var:readercount``…).
+        kind: vocabulary word — ``path``, ``procedure``, ``sync_procedure``,
+            ``condition``, ``queue``, ``crowd``, ``guard``, ``variable``,
+            ``semaphore``, ``counter``, ``priority_queue``.
+        text: the component's content (path source text, pseudocode) —
+            compared verbatim by the structural differ.
+    """
+
+    name: str
+    kind: str
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ConstraintRealization:
+    """How one specification constraint is implemented in a solution.
+
+    Attributes:
+        constraint_id: the :class:`Constraint` id from the problem spec.
+        components: names of the :class:`Component` objects that participate
+            in implementing this constraint.
+        constructs: the mechanism features used (free vocabulary:
+            ``burst``, ``selection``, ``condition_queue``, ``priority_wait``,
+            ``crowd``, ``guarantee``, ``sync_procedure``, ``guard`` …).
+        directness: the §4.1 judgement for this constraint.
+        info_handling: per information type used by this constraint, how the
+            solution accesses it.
+        notes: free-form rationale (shows up in reports).
+    """
+
+    constraint_id: str
+    components: Tuple[str, ...]
+    constructs: Tuple[str, ...]
+    directness: Directness
+    info_handling: Dict[InformationType, Directness] = field(default_factory=dict)
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class ModularityProfile:
+    """The §2 modularity judgement for one solution.
+
+    Attributes:
+        synchronization_with_resource: requirement 1 — synchronization lives
+            with the resource abstraction, not at points of use.
+        resource_separable: requirement 2 — the unsynchronized resource and
+            the synchronizer are separable sub-abstractions.
+        enforced_by_mechanism: the structure is guaranteed by the mechanism
+            itself rather than by programmer discipline (the monitor/
+            serializer distinction of §5.2).
+        notes: rationale.
+    """
+
+    synchronization_with_resource: bool
+    resource_separable: bool
+    enforced_by_mechanism: bool
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class SolutionDescription:
+    """The complete machine-readable structure of one solution."""
+
+    problem: str
+    mechanism: str
+    components: Tuple[Component, ...]
+    realizations: Tuple[ConstraintRealization, ...]
+    modularity: ModularityProfile
+    notes: str = ""
+
+    def component(self, name: str) -> Component:
+        """Look up a component by name (raises ``KeyError``)."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(
+            "solution {}/{} has no component {!r}".format(
+                self.problem, self.mechanism, name
+            )
+        )
+
+    def realization(self, constraint_id: str) -> ConstraintRealization:
+        """Look up the realization of a constraint (raises ``KeyError``)."""
+        for r in self.realizations:
+            if r.constraint_id == constraint_id:
+                return r
+        raise KeyError(
+            "solution {}/{} does not realize constraint {!r}".format(
+                self.problem, self.mechanism, constraint_id
+            )
+        )
+
+    def realized_constraint_ids(self) -> Tuple[str, ...]:
+        """Ids of all constraints this solution claims to realize."""
+        return tuple(r.constraint_id for r in self.realizations)
+
+    def components_for(self, constraint_id: str) -> Tuple[Component, ...]:
+        """The component objects realizing one constraint."""
+        wanted = set(self.realization(constraint_id).components)
+        return tuple(c for c in self.components if c.name in wanted)
+
+    def validate(self) -> List[str]:
+        """Internal consistency check; returns a list of problems found.
+
+        Every realization must reference only declared components, and
+        component names must be unique.
+        """
+        issues: List[str] = []
+        names = [c.name for c in self.components]
+        if len(names) != len(set(names)):
+            issues.append("duplicate component names")
+        known = set(names)
+        for r in self.realizations:
+            for ref in r.components:
+                if ref not in known:
+                    issues.append(
+                        "realization {!r} references unknown component "
+                        "{!r}".format(r.constraint_id, ref)
+                    )
+        return issues

@@ -1,0 +1,51 @@
+"""The synchronization mechanisms under evaluation (substrates S3–S6).
+
+Three high-level constructs, each built from scratch on the runtime:
+
+* :class:`Monitor` / :class:`Condition` — Hoare monitors (§5.2).
+* :class:`Serializer` / :class:`SerializerQueue` / :class:`Crowd` —
+  Atkinson–Hewitt serializers (§5.2).
+* :mod:`repro.mechanisms.pathexpr` — Campbell–Habermann path expressions and
+  extended variants (§5.1).
+
+Plain semaphores (the baseline the paper says these mechanisms must improve
+on) live in :mod:`repro.runtime.primitives`.
+"""
+
+from .ccr import SharedRegion
+from .eventcount import EventCount, Sequencer
+from .channels import Channel, ReceiveOp, SendOp, select
+from .monitor import HOARE, MESA, Condition, Monitor
+from .pathexpr import (
+    GuardedPathResource,
+    PathCompileError,
+    PathResource,
+    PathSyntaxError,
+    parse_path,
+    parse_paths,
+)
+from .serializer import Crowd, Serializer, SerializerPriorityQueue, SerializerQueue
+
+__all__ = [
+    "Channel",
+    "Condition",
+    "Crowd",
+    "EventCount",
+    "ReceiveOp",
+    "SendOp",
+    "Sequencer",
+    "SharedRegion",
+    "select",
+    "GuardedPathResource",
+    "HOARE",
+    "MESA",
+    "Monitor",
+    "PathCompileError",
+    "PathResource",
+    "PathSyntaxError",
+    "Serializer",
+    "SerializerPriorityQueue",
+    "SerializerQueue",
+    "parse_path",
+    "parse_paths",
+]

@@ -1,0 +1,265 @@
+"""Synchronous message passing — CSP channels with guarded alternative.
+
+§6 of the paper: "We have not looked extensively at message-passing models,
+or more recent mechanisms, such as guarded commands [19] and the mechanism
+proposed by Hoare in 'Communicating Sequential Processes' [20] … it is
+important to be able to evaluate and compare them.  The techniques presented
+in this paper may prove useful in these evaluations."
+
+This module supplies that mechanism so the methodology can be applied to it
+(experiment E11): rendezvous channels in the style of CSP '78, plus the
+guarded alternative (``select``) that corresponds to Dijkstra's guarded
+commands.
+
+* :class:`Channel` — rendezvous by default: ``send`` and ``receive``
+  complete together; waiters queue FIFO, so a channel doubles as an
+  arrival-order record (information type T2).  ``capacity > 0`` turns it
+  into an asynchronous mailbox (sends complete while the buffer has room).
+* :func:`select` — wait on several send/receive alternatives at once, each
+  optionally guarded by a boolean; the first matchable alternative fires.
+  Immediate matches resolve in alternative order (deterministic, like a
+  textually-ordered guarded command).
+
+Synchronization schemes in this model are *server processes*: clients send
+requests (parameters ride in the message — T3 is trivially accessible) and
+the server's select loop encodes the constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Union
+
+from ..runtime.errors import IllegalOperationError
+from ..runtime.process import SimProcess
+from ..runtime.scheduler import Scheduler
+
+
+class _Offer:
+    """One parked communication attempt (possibly one arm of a select)."""
+
+    __slots__ = ("proc", "kind", "value", "group", "index")
+
+    def __init__(self, proc: SimProcess, kind: str, value: Any,
+                 group: Optional["_SelectGroup"], index: int) -> None:
+        self.proc = proc
+        self.kind = kind  # 'send' | 'recv'
+        self.value = value
+        self.group = group
+        self.index = index
+
+    def claimable(self) -> bool:
+        return self.group is None or not self.group.resolved
+
+
+class _SelectGroup:
+    """Shared state linking the arms of one select call."""
+
+    __slots__ = ("resolved",)
+
+    def __init__(self) -> None:
+        self.resolved = False
+
+
+class Channel:
+    """A channel: rendezvous by default, optionally buffered.
+
+    ``capacity == 0`` (the CSP '78 default): ``send`` blocks until a
+    receiver takes the value, ``receive`` blocks until a sender offers one.
+    ``capacity > 0`` (asynchronous mailbox): ``send`` completes immediately
+    while the buffer has room and blocks only when full; ``receive`` drains
+    the buffer in FIFO order.  All queues are FIFO.
+    """
+
+    def __init__(self, sched: Scheduler, name: str = "chan",
+                 capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._sched = sched
+        self.name = name
+        self.capacity = capacity
+        self._buffer: List[Any] = []
+        self._senders: List[_Offer] = []
+        self._receivers: List[_Offer] = []
+
+    @property
+    def buffered(self) -> int:
+        """Messages sitting in the buffer (0 for rendezvous channels)."""
+        return len(self._buffer)
+
+    def _has_space(self) -> bool:
+        return len(self._buffer) < self.capacity
+
+    # ------------------------------------------------------------------
+    def _first_claimable(self, offers: List[_Offer]) -> Optional[_Offer]:
+        for offer in offers:
+            if offer.claimable():
+                return offer
+        return None
+
+    def _discard_dead(self) -> None:
+        self._senders = [o for o in self._senders if o.claimable()]
+        self._receivers = [o for o in self._receivers if o.claimable()]
+
+    @property
+    def senders_waiting(self) -> int:
+        """Parked senders (live offers only)."""
+        return sum(1 for o in self._senders if o.claimable())
+
+    @property
+    def receivers_waiting(self) -> int:
+        """Parked receivers (live offers only)."""
+        return sum(1 for o in self._receivers if o.claimable())
+
+    # ------------------------------------------------------------------
+    def send(self, value: Any) -> Generator:
+        """Offer ``value``; returns once a receiver has taken it (rendezvous)
+        or once it is buffered (buffered channel with room)."""
+        self._discard_dead()
+        match = self._first_claimable(self._receivers)
+        if match is not None:
+            self._claim(match, deliver=value)
+            self._sched.log("send", self.name, value)
+            return
+        if self._has_space():
+            self._buffer.append(value)
+            self._sched.log("send", self.name, value)
+            return
+        me = self._sched.current
+        self._senders.append(_Offer(me, "send", value, None, 0))
+        yield from self._sched.park("send({})".format(self.name), self.name)
+        self._sched.log("send", self.name, value)
+
+    def receive(self) -> Generator:
+        """Take the next value; returns it."""
+        self._discard_dead()
+        if self._buffer:
+            value = self._buffer.pop(0)
+            self._refill_from_senders()
+            self._sched.log("recv", self.name, value)
+            return value
+        match = self._first_claimable(self._senders)
+        if match is not None:
+            value = match.value
+            self._claim(match)
+            self._sched.log("recv", self.name, value)
+            return value
+        me = self._sched.current
+        self._receivers.append(_Offer(me, "recv", None, None, 0))
+        value = yield from self._sched.park(
+            "recv({})".format(self.name), self.name
+        )
+        self._sched.log("recv", self.name, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def _refill_from_senders(self) -> None:
+        """After a buffered receive frees a slot, move the oldest parked
+        sender's value into the buffer and release the sender."""
+        while self._has_space():
+            offer = self._first_claimable(self._senders)
+            if offer is None:
+                return
+            self._buffer.append(offer.value)
+            self._claim(offer)
+
+    def _claim(self, offer: _Offer, deliver: Any = None) -> None:
+        """Complete a rendezvous with a parked counterpart."""
+        if offer in self._senders:
+            self._senders.remove(offer)
+        if offer in self._receivers:
+            self._receivers.remove(offer)
+        if offer.group is not None:
+            offer.group.resolved = True
+            wake_value = (offer.index, deliver if offer.kind == "recv" else None)
+        else:
+            wake_value = deliver if offer.kind == "recv" else None
+        self._sched.unpark(offer.proc, wake_value)
+
+
+class SendOp:
+    """A ``select`` arm offering ``value`` on ``channel``."""
+
+    __slots__ = ("channel", "value", "guard")
+
+    def __init__(self, channel: Channel, value: Any, guard: bool = True) -> None:
+        self.channel = channel
+        self.value = value
+        self.guard = guard
+
+
+class ReceiveOp:
+    """A ``select`` arm taking a value from ``channel``."""
+
+    __slots__ = ("channel", "guard")
+
+    def __init__(self, channel: Channel, guard: bool = True) -> None:
+        self.channel = channel
+        self.guard = guard
+
+
+SelectArm = Union[SendOp, ReceiveOp]
+
+
+def select(sched: Scheduler, arms: Sequence[SelectArm]) -> Generator:
+    """Guarded alternative: wait until one enabled arm can communicate.
+
+    Returns ``(index, value)`` — ``value`` is the received message for a
+    :class:`ReceiveOp` arm and ``None`` for a :class:`SendOp` arm.  Guards
+    are evaluated once, on entry (re-issue the select to re-evaluate, as a
+    CSP repetitive command would).  Raises if every guard is false — the
+    guarded-command failure case.
+    """
+    enabled = [(i, arm) for i, arm in enumerate(arms) if arm.guard]
+    if not enabled:
+        raise IllegalOperationError("select with all guards false")
+    # Immediate pass: first arm that can communicate right now wins
+    # (buffered content / space counts as communicable).
+    for index, arm in enabled:
+        chan = arm.channel
+        chan._discard_dead()
+        if isinstance(arm, ReceiveOp):
+            if chan._buffer:
+                value = chan._buffer.pop(0)
+                chan._refill_from_senders()
+                sched.log("recv", chan.name, value)
+                return (index, value)
+            match = chan._first_claimable(chan._senders)
+            if match is not None:
+                value = match.value
+                chan._claim(match)
+                sched.log("recv", chan.name, value)
+                return (index, value)
+        else:
+            match = chan._first_claimable(chan._receivers)
+            if match is not None:
+                chan._claim(match, deliver=arm.value)
+                sched.log("send", chan.name, arm.value)
+                return (index, None)
+            if chan._has_space():
+                chan._buffer.append(arm.value)
+                sched.log("send", chan.name, arm.value)
+                return (index, None)
+    # Park one offer per enabled arm, linked through a select group.
+    me = sched.current
+    group = _SelectGroup()
+    for index, arm in enabled:
+        offer = _Offer(
+            me,
+            "recv" if isinstance(arm, ReceiveOp) else "send",
+            None if isinstance(arm, ReceiveOp) else arm.value,
+            group,
+            index,
+        )
+        if isinstance(arm, ReceiveOp):
+            arm.channel._receivers.append(offer)
+        else:
+            arm.channel._senders.append(offer)
+    result = yield from sched.park("select", "select")
+    index, value = result
+    arm = arms[index]
+    sched.log(
+        "recv" if isinstance(arm, ReceiveOp) else "send",
+        arm.channel.name,
+        value,
+    )
+    return (index, value)

@@ -1,0 +1,100 @@
+"""Eventcounts and sequencers (Reed & Kanodia, SOSP 1979).
+
+Published at the *same conference* as the paper under reproduction, this is
+the era's other lockless-flavoured proposal and a natural further target for
+the methodology (experiment E11 family):
+
+* an **eventcount** is a monotone counter of event occurrences with three
+  operations — ``advance()`` (signal one occurrence), ``read()`` (current
+  count), and ``await(v)`` (block until the count reaches ``v``);
+* a **sequencer** issues strictly increasing ``ticket()`` values, totally
+  ordering contenders.
+
+The canonical usage patterns reproduced in the problem suite:
+
+* mutual exclusion / FCFS: ``t = S.ticket(); E.await(t); …; E.advance()``
+  — the ticket machine (request time made *explicit state*, like the CCR
+  ticket protocol but provided by the construct itself);
+* bounded buffer: producer ``await(out >= i - N)``, consumer
+  ``await(in >= i)`` over two eventcounts ``in``/``out`` — the Reed–Kanodia
+  paper's own example.
+
+The methodology's verdict (recorded in the solution descriptions): request
+time is DIRECT (tickets), history is DIRECT (counts), but request *type*
+and priority have no purchase at all — eventcounts order occurrences, they
+cannot distinguish kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ..runtime.process import SimProcess
+from ..runtime.scheduler import Scheduler
+
+
+class EventCount:
+    """A monotone occurrence counter with blocking ``await``."""
+
+    def __init__(self, sched: Scheduler, name: str = "ec") -> None:
+        self._sched = sched
+        self.name = name
+        self._count = 0
+        # waiters: (threshold, arrival, process), released when count >= threshold
+        self._waiters: List[Tuple[int, int, SimProcess]] = []
+        self._arrivals = 0
+
+    def read(self) -> int:
+        """The number of ``advance`` calls so far."""
+        return self._count
+
+    def advance(self) -> None:
+        """Record one occurrence; wakes every waiter whose threshold is
+        reached (in threshold order, then arrival order)."""
+        self._count += 1
+        self._sched.log("advance", self.name, self._count)
+        due = [w for w in self._waiters if w[0] <= self._count]
+        if due:
+            self._waiters = [w for w in self._waiters if w[0] > self._count]
+            for __, __, proc in sorted(due):
+                self._sched.unpark(proc)
+
+    def await_(self, value: int) -> Generator:
+        """Block until the count reaches ``value`` (immediate if already
+        there).  Named ``await_`` because ``await`` is a Python keyword."""
+        yield from self._sched.checkpoint()
+        if self._count >= value:
+            return
+        self._arrivals += 1
+        self._waiters.append((value, self._arrivals, self._sched.current))
+        self._waiters.sort()
+        yield from self._sched.park(
+            "await({} >= {})".format(self.name, value), self.name
+        )
+
+    @property
+    def waiters(self) -> int:
+        """Processes currently blocked in ``await``."""
+        return len(self._waiters)
+
+
+class Sequencer:
+    """A ticket dispenser: each ``ticket()`` returns the next integer,
+    starting at 0.  Non-blocking; ordering totality is the whole point."""
+
+    def __init__(self, sched: Scheduler, name: str = "seq") -> None:
+        self._sched = sched
+        self.name = name
+        self._next = 0
+
+    def ticket(self) -> int:
+        """Take the next ticket (atomic: no yield points inside)."""
+        value = self._next
+        self._next += 1
+        self._sched.log("ticket", self.name, value)
+        return value
+
+    @property
+    def issued(self) -> int:
+        """How many tickets have been handed out."""
+        return self._next

@@ -1,0 +1,52 @@
+"""Path expressions (substrates S5–S6).
+
+The Campbell–Habermann mechanism evaluated in §5.1 of the paper, plus the
+extended ("open") variants its later versions introduced.
+
+Public surface:
+
+* :func:`parse_path` / :func:`parse_paths` — concrete syntax → AST.
+* AST node classes — :class:`PathExpr`, :class:`Name`, :class:`Sequence`,
+  :class:`Selection`, :class:`Burst`.
+* :class:`PathResource` — a resource protected by compiled paths.
+* :class:`GuardedPathResource` — predicates, state variables, priorities.
+* :class:`PathCompiler` and action classes — the semaphore translation.
+* :class:`PathSyntaxError`, :class:`PathCompileError`.
+"""
+
+from .ast import Burst, Name, PathExpr, PathNode, Selection, Sequence
+from .compiler import (
+    Action,
+    BurstCounter,
+    BurstEnter,
+    BurstExit,
+    PAction,
+    PathCompileError,
+    PathCompiler,
+    VAction,
+)
+from .extended import GuardedPathResource
+from .parser import PathSyntaxError, parse_path, parse_paths
+from .runtime import PathResource
+
+__all__ = [
+    "Action",
+    "Burst",
+    "BurstCounter",
+    "BurstEnter",
+    "BurstExit",
+    "GuardedPathResource",
+    "Name",
+    "PAction",
+    "PathCompileError",
+    "PathCompiler",
+    "PathExpr",
+    "PathNode",
+    "PathResource",
+    "PathSyntaxError",
+    "Selection",
+    "Sequence",
+    "VAction",
+    "parse_path",
+    "parse_paths",
+]

@@ -1,0 +1,145 @@
+"""Abstract syntax for path expressions.
+
+The grammar is the Campbell–Habermann (1974) variant used in the paper's
+Figures 1 and 2:
+
+.. code-block:: text
+
+    path      ::= 'path' selection 'end'
+    selection ::= sequence (',' sequence)*          -- exclusive selection
+    sequence  ::= element (';' element)*            -- strict ordering
+    element   ::= NAME                              -- one operation execution
+                | '{' selection '}'                 -- burst: concurrent repetitions
+                | '(' selection ')'                 -- grouping
+
+Repetition is implicit: the whole path body repeats forever.  Selection
+(``,``) binds loosest, sequencing (``;``) tighter, so
+``path a ; b , c end`` parses as ``(a ; b) , c``; the paper's figures always
+parenthesize explicitly, so both conventions read them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+
+class PathNode:
+    """Base class for all AST nodes."""
+
+    def operation_names(self) -> Set[str]:
+        """All operation names appearing under this node."""
+        raise NotImplementedError
+
+    def unparse(self) -> str:
+        """Render back to concrete syntax (canonical spacing)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Name(PathNode):
+    """A single operation occurrence."""
+
+    value: str
+
+    def operation_names(self) -> Set[str]:
+        return {self.value}
+
+    def unparse(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Sequence(PathNode):
+    """``a ; b ; c`` — each element may start only after its predecessor
+    (in the current cycle) has finished."""
+
+    elements: Tuple[PathNode, ...]
+
+    def operation_names(self) -> Set[str]:
+        names: Set[str] = set()
+        for el in self.elements:
+            names |= el.operation_names()
+        return names
+
+    def unparse(self) -> str:
+        parts = []
+        for el in self.elements:
+            text = el.unparse()
+            # Parenthesize nested selections (precedence) and nested
+            # sequences (so explicit grouping survives a round-trip).
+            if isinstance(el, (Selection, Sequence)):
+                text = "({})".format(text)
+            parts.append(text)
+        return " ; ".join(parts)
+
+
+@dataclass(frozen=True)
+class Selection(PathNode):
+    """``a , b`` — exactly one alternative executes per cycle."""
+
+    alternatives: Tuple[PathNode, ...]
+
+    def operation_names(self) -> Set[str]:
+        names: Set[str] = set()
+        for alt in self.alternatives:
+            names |= alt.operation_names()
+        return names
+
+    def unparse(self) -> str:
+        parts = []
+        for alt in self.alternatives:
+            text = alt.unparse()
+            if isinstance(alt, Selection):  # keep explicit grouping
+                text = "({})".format(text)
+            parts.append(text)
+        return " , ".join(parts)
+
+
+@dataclass(frozen=True)
+class Burst(PathNode):
+    """``{ a }`` — any number of concurrent executions; the path position
+    advances only when the last one finishes ("first in opens, last out
+    closes")."""
+
+    body: PathNode
+
+    def operation_names(self) -> Set[str]:
+        return self.body.operation_names()
+
+    def unparse(self) -> str:
+        return "{{ {} }}".format(self.body.unparse())
+
+
+@dataclass(frozen=True)
+class PathExpr(PathNode):
+    """A complete ``path ... end`` declaration (implicitly cyclic).
+
+    ``multiplicity`` is the Flon–Habermann *numeric operator*
+    (``path N : body end``): up to N activations of the cycle may be in
+    flight simultaneously — the construct §5.1.2 says was added to improve
+    "explicit use of synchronization state information, as well as history
+    information" (e.g. it bounds a buffer at capacity N).
+    """
+
+    body: PathNode
+    multiplicity: int = 1
+
+    def operation_names(self) -> Set[str]:
+        return self.body.operation_names()
+
+    def unparse(self) -> str:
+        if self.multiplicity != 1:
+            return "path {} : ( {} ) end".format(
+                self.multiplicity, self.body.unparse()
+            )
+        return "path {} end".format(self.body.unparse())
+
+
+def _normalize(node: PathNode) -> PathNode:
+    """Collapse single-element sequences/selections (parser helper)."""
+    if isinstance(node, Sequence) and len(node.elements) == 1:
+        return node.elements[0]
+    if isinstance(node, Selection) and len(node.alternatives) == 1:
+        return node.alternatives[0]
+    return node

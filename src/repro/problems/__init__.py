@@ -1,0 +1,6 @@
+"""The test-problem suite (S8): one subpackage per catalog problem, each
+implemented under every mechanism that can express it.
+
+See :mod:`repro.problems.registry` for the complete solution index used by
+the evaluation engine and the benchmarks.
+"""

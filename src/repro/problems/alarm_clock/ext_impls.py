@@ -1,0 +1,151 @@
+"""Alarm clock under the §6 extension mechanisms (experiment E11).
+
+* CSP: the deadline travels in the ``wakeme`` message; the server keeps a
+  sorted sleeper list and replies to everything due after each tick.
+* CCR: the canonical guard ``when now >= deadline`` over a shared tick
+  counter — each sleeper's parameter lives in its own guard closure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel, ReceiveOp, select
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T3 = InformationType.PARAMETERS
+
+
+class CspAlarmClock(SolutionBase):
+    """Sleepers send (deadline, reply); the ticker sends ticks; the server
+    releases every due sleeper after each tick."""
+
+    problem = "alarm_clock"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, name: str = "alarm") -> None:
+        super().__init__(sched, name)
+        self.ch_wakeme = Channel(sched, name + ".wakeme")
+        self.ch_tick = Channel(sched, name + ".tick")
+        self._now = 0
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    @property
+    def now(self) -> int:
+        """The alarm clock's own tick counter."""
+        return self._now
+
+    def _server(self) -> Generator:
+        sleepers: List[Tuple[int, Channel]] = []
+        while True:
+            index, msg = yield from select(self._sched, [
+                ReceiveOp(self.ch_wakeme),
+                ReceiveOp(self.ch_tick),
+            ])
+            if index == 0:
+                deadline, reply = msg
+                if deadline <= self._now:
+                    yield from reply.send(None)
+                else:
+                    sleepers.append((deadline, reply))
+                    sleepers.sort(key=lambda item: item[0])
+            else:
+                self._now += 1
+                while sleepers and sleepers[0][0] <= self._now:
+                    __, reply = sleepers.pop(0)
+                    yield from reply.send(None)
+
+    def wakeme(self, n: int) -> Generator:
+        """Sleep for ``n`` ticks."""
+        self._sched.log("wakeme", self.name, n)
+        reply = Channel(self._sched, self.name + ".reply")
+        yield from self.ch_wakeme.send((self._now + n, reply))
+        yield from reply.receive()
+        self._sched.log("wake", self.name)
+
+    def tick(self) -> Generator:
+        """Advance the clock one unit."""
+        yield from self.ch_tick.send(None)
+
+
+class CcrAlarmClock(SolutionBase):
+    """``region v when now >= deadline`` — the guard carries the parameter."""
+
+    problem = "alarm_clock"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "alarm") -> None:
+        super().__init__(sched, name)
+        self.cell = SharedRegion(sched, {"now": 0}, name=name + ".v")
+
+    @property
+    def now(self) -> int:
+        """The alarm clock's own tick counter."""
+        return self.cell.vars["now"]
+
+    def wakeme(self, n: int) -> Generator:
+        """Sleep for ``n`` ticks."""
+        self._sched.log("wakeme", self.name, n)
+        deadline = self.now + n
+        yield from self.cell.enter(lambda v: v["now"] >= deadline)
+        self.cell.leave()
+        self._sched.log("wake", self.name)
+
+    def tick(self) -> Generator:
+        """Advance the clock one unit; guards re-evaluate on leave."""
+        yield from self.cell.enter()
+        self.cell.vars["now"] += 1
+        self.cell.leave()
+
+
+CSP_ALARM_DESCRIPTION = SolutionDescription(
+    problem="alarm_clock",
+    mechanism="csp",
+    components=(
+        Component("chan:wakeme", "queue", "(deadline, reply) messages"),
+        Component("chan:tick", "queue"),
+        Component("var:sleepers", "variable", "server-local sorted list"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="deadline_order",
+            components=("chan:wakeme", "chan:tick", "var:sleepers"),
+            constructs=("message_payload", "server_process"),
+            directness=Directness.DIRECT,
+            info_handling={T3: Directness.DIRECT},
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_ALARM_DESCRIPTION = SolutionDescription(
+    problem="alarm_clock",
+    mechanism="ccr",
+    components=(
+        Component("var:now", "variable", "shared tick counter"),
+        Component("guard:deadline", "guard", "when now >= deadline"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="deadline_order",
+            components=("var:now", "guard:deadline"),
+            constructs=("region_guard",),
+            directness=Directness.INDIRECT,
+            info_handling={T3: Directness.INDIRECT},
+            notes="the parameter reaches the guard only via closure over a "
+            "pre-computed deadline; the construct itself has no parameter "
+            "access",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

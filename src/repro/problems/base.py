@@ -1,0 +1,53 @@
+"""Shared plumbing for problem solutions.
+
+Every solution in :mod:`repro.problems` follows the same conventions:
+
+* it is constructed with a :class:`Scheduler` and exposes its operations as
+  generator methods;
+* it emits the uniform trace vocabulary — ``request`` when an operation is
+  asked for (before any blocking), ``op_start`` when access is granted,
+  ``op_end`` on completion — under ``<resource>.<op>`` object names, which is
+  what the oracles key on;
+* its module exports a ``SolutionDescription`` named per variant, consumed
+  by the evaluation engine;
+* it registers itself in :data:`repro.problems.registry.REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.scheduler import Scheduler
+
+
+class SolutionBase:
+    """Base class providing the uniform trace-logging helpers."""
+
+    #: Problem name from the catalog (set by subclasses).
+    problem: str = ""
+    #: Mechanism name: ``semaphore``, ``monitor``, ``serializer``,
+    #: ``pathexpr``, or ``pathexpr_open``.
+    mechanism: str = ""
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        self._sched = sched
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def _request(self, op: str, detail: Any = None) -> None:
+        """Log that an operation was asked for (pre-blocking)."""
+        self._sched.log("request", "{}.{}".format(self.name, op), detail)
+
+    def _start(self, op: str) -> None:
+        """Log that access was granted and the operation is executing."""
+        self._sched.log("op_start", "{}.{}".format(self.name, op))
+
+    def _finish(self, op: str) -> None:
+        """Log that the operation completed."""
+        self._sched.log("op_end", "{}.{}".format(self.name, op))
+
+    def _work(self, amount: int):
+        """Spend ``amount`` scheduling steps inside the critical region —
+        widens the window in which interference would be observable."""
+        for __ in range(amount):
+            yield

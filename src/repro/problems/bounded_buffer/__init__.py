@@ -1,0 +1,40 @@
+"""Bounded buffer (footnote 2: the local-state problem)."""
+
+from .impls import (
+    MONITOR_BOUNDED_BUFFER_DESCRIPTION,
+    MonitorBoundedBuffer,
+    OPEN_PATH_BOUNDED_BUFFER_DESCRIPTION,
+    OpenPathBoundedBuffer,
+    SEMAPHORE_BOUNDED_BUFFER_DESCRIPTION,
+    SemaphoreBoundedBuffer,
+    SERIALIZER_BOUNDED_BUFFER_DESCRIPTION,
+    SerializerBoundedBuffer,
+)
+from .workloads import make_verifier, run_producers_consumers
+
+__all__ = [
+    "MONITOR_BOUNDED_BUFFER_DESCRIPTION",
+    "MonitorBoundedBuffer",
+    "OPEN_PATH_BOUNDED_BUFFER_DESCRIPTION",
+    "OpenPathBoundedBuffer",
+    "SEMAPHORE_BOUNDED_BUFFER_DESCRIPTION",
+    "SemaphoreBoundedBuffer",
+    "SERIALIZER_BOUNDED_BUFFER_DESCRIPTION",
+    "SerializerBoundedBuffer",
+    "make_verifier",
+    "run_producers_consumers",
+]
+
+from .ext_impls import (
+    CCR_BOUNDED_BUFFER_DESCRIPTION,
+    CSP_BOUNDED_BUFFER_DESCRIPTION,
+    CcrBoundedBuffer,
+    CspBoundedBuffer,
+)
+
+__all__ += [
+    "CCR_BOUNDED_BUFFER_DESCRIPTION",
+    "CSP_BOUNDED_BUFFER_DESCRIPTION",
+    "CcrBoundedBuffer",
+    "CspBoundedBuffer",
+]

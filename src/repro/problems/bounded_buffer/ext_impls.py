@@ -1,0 +1,172 @@
+"""Bounded buffer under the §6 extension mechanisms (experiment E11).
+
+* :class:`CspBoundedBuffer` — the canonical CSP buffer process: a select
+  loop whose put-arm is guarded by "not full" and whose get-arm *offers*
+  the head item, guarded by "not empty".
+* :class:`CcrBoundedBuffer` — the canonical CCR example (Brinch Hansen's
+  own): ``region buf when not full do put``; local state is exactly what
+  CCR guards were designed for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel, ReceiveOp, SendOp, select
+from ...resources import BoundedBuffer
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T4 = InformationType.SYNC_STATE
+T5 = InformationType.LOCAL_STATE
+
+
+class CspBoundedBuffer(SolutionBase):
+    """The CSP'78 bounded buffer process."""
+
+    problem = "bounded_buffer"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, capacity: int = 4,
+                 name: str = "buf") -> None:
+        super().__init__(sched, name)
+        self.buffer = BoundedBuffer(capacity)
+        self.ch_put = Channel(sched, name + ".put")
+        self.ch_get = Channel(sched, name + ".get")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        while True:
+            arms = [
+                ReceiveOp(self.ch_put, guard=not self.buffer.full),
+                SendOp(
+                    self.ch_get,
+                    self.buffer.peek() if not self.buffer.empty else None,
+                    guard=not self.buffer.empty,
+                ),
+            ]
+            index, item = yield from select(self._sched, arms)
+            if index == 0:
+                self._start("put")
+                yield from self.buffer.put(item)
+                self._finish("put")
+            else:
+                self._start("get")
+                yield from self.buffer.get()
+                self._finish("get")
+
+    def put(self, item: Any, work: int = 0) -> Generator:
+        """Insert one item, blocking while the buffer is full."""
+        self._request("put", item)
+        yield from self.ch_put.send(item)
+        yield from self._work(work)
+
+    def get(self, work: int = 0) -> Generator:
+        """Remove and return the oldest item, blocking while empty."""
+        self._request("get")
+        item = yield from self.ch_get.receive()
+        yield from self._work(work)
+        return item
+
+
+class CcrBoundedBuffer(SolutionBase):
+    """``region buf when not full do put`` — CCR's home turf."""
+
+    problem = "bounded_buffer"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, capacity: int = 4,
+                 name: str = "buf") -> None:
+        super().__init__(sched, name)
+        self.buffer = BoundedBuffer(capacity)
+        self.cell = SharedRegion(sched, {}, name=name + ".v")
+
+    def put(self, item: Any, work: int = 0) -> Generator:
+        """Insert one item, blocking while the buffer is full."""
+        self._request("put", item)
+        yield from self.cell.enter(lambda v: not self.buffer.full)
+        self._start("put")
+        yield from self.buffer.put(item)
+        yield from self._work(work)
+        self._finish("put")
+        self.cell.leave()
+
+    def get(self, work: int = 0) -> Generator:
+        """Remove and return the oldest item, blocking while empty."""
+        self._request("get")
+        yield from self.cell.enter(lambda v: not self.buffer.empty)
+        self._start("get")
+        item = yield from self.buffer.get()
+        yield from self._work(work)
+        self._finish("get")
+        self.cell.leave()
+        return item
+
+
+CSP_BOUNDED_BUFFER_DESCRIPTION = SolutionDescription(
+    problem="bounded_buffer",
+    mechanism="csp",
+    components=(
+        Component("chan:put", "queue"),
+        Component("chan:get", "queue"),
+        Component("guard:put", "guard", "not buffer.full"),
+        Component("guard:get", "guard", "not buffer.empty (send arm)"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="buffer_bounds",
+            components=("guard:put", "guard:get"),
+            constructs=("guarded_select", "server_process"),
+            directness=Directness.DIRECT,
+            info_handling={T5: Directness.DIRECT},
+            notes="the CSP'78 paper's own example; guards read the server's "
+            "resource state directly",
+        ),
+        ConstraintRealization(
+            constraint_id="buffer_mutex",
+            components=("chan:put", "chan:get"),
+            constructs=("server_process",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.DIRECT},
+            notes="the server's sequentiality IS the exclusion",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_BOUNDED_BUFFER_DESCRIPTION = SolutionDescription(
+    problem="bounded_buffer",
+    mechanism="ccr",
+    components=(
+        Component("guard:put", "guard", "region when not buffer.full"),
+        Component("guard:get", "guard", "region when not buffer.empty"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="buffer_bounds",
+            components=("guard:put", "guard:get"),
+            constructs=("region_guard",),
+            directness=Directness.DIRECT,
+            info_handling={T5: Directness.DIRECT},
+            notes="local state is exactly what the when-clause was built "
+            "for (Brinch Hansen's flagship example, paper ref [6])",
+        ),
+        ConstraintRealization(
+            constraint_id="buffer_mutex",
+            components=("guard:put", "guard:get"),
+            constructs=("region_mutex",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.INDIRECT},
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

@@ -1,0 +1,112 @@
+"""Disk head scheduler (footnote 2: a request-parameters problem, [13])."""
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ...runtime.errors import ProcessFailed
+from ...runtime.scheduler import Scheduler
+from ...verify import check_scan_order, check_single_occupancy
+from .impls import (
+    MONITOR_DISK_DESCRIPTION,
+    MonitorDiskScheduler,
+    OPEN_PATH_DISK_DESCRIPTION,
+    OpenPathDiskScheduler,
+    SEMAPHORE_DISK_DESCRIPTION,
+    SemaphoreDiskFcfs,
+    SERIALIZER_DISK_DESCRIPTION,
+    SerializerDiskScheduler,
+    scan_next,
+)
+
+#: (arrival delay, track) — distinct tracks, none equal to the start track.
+DEFAULT_PLAN: List[Tuple[int, int]] = [
+    (0, 53), (0, 18), (0, 91), (1, 37), (1, 122),
+    (2, 14), (3, 70), (4, 147), (5, 9), (6, 101),
+]
+
+
+def random_plan(seed: int, requests: int = 12, tracks: int = 200,
+                start_track: int = 0) -> List[Tuple[int, int]]:
+    """Distinct random tracks with staggered arrivals."""
+    rng = random.Random(seed)
+    population = [t for t in range(tracks) if t != start_track]
+    chosen = rng.sample(population, requests)
+    return [(rng.randrange(0, 8), track) for track in chosen]
+
+
+def run_requests(factory, plan: Sequence[Tuple[int, int]] = tuple(DEFAULT_PLAN),
+                 policy=None):
+    """One process per (delay, track) request."""
+    sched = Scheduler(policy=policy)
+    impl = factory(sched)
+
+    def requester(delay: int, track: int):
+        def body():
+            if delay:
+                yield from sched.sleep(delay)
+            yield from impl.use(track, work=2)
+        return body
+
+    for index, (delay, track) in enumerate(plan):
+        sched.spawn(requester(delay, track), name="D{}".format(index))
+    result = sched.run(on_deadlock="return")
+    return result, impl
+
+
+def make_verifier(factory, name: str = "disk", start_track: int = 0,
+                  check_scan: bool = True) -> Callable[[], List[str]]:
+    """Oracle battery: single occupancy always; SCAN order unless the
+    solution is the FCFS baseline (``check_scan=False``)."""
+
+    def verify() -> List[str]:
+        violations: List[str] = []
+        plans = [("default", DEFAULT_PLAN), ("random3", random_plan(3)),
+                 ("random9", random_plan(9))]
+        for label, plan in plans:
+            try:
+                result, __ = run_requests(factory, plan)
+            except ProcessFailed as failure:
+                violations.append("{}: {}".format(label, failure))
+                continue
+            for msg in check_single_occupancy(result.trace, name, ["use"]):
+                violations.append("{}: {}".format(label, msg))
+            if check_scan:
+                for msg in check_scan_order(result.trace, name,
+                                            start_track=start_track):
+                    violations.append("{}: {}".format(label, msg))
+            if result.deadlocked:
+                violations.append("{}: deadlock".format(label))
+        return violations
+
+    return verify
+
+
+__all__ = [
+    "DEFAULT_PLAN",
+    "MONITOR_DISK_DESCRIPTION",
+    "MonitorDiskScheduler",
+    "OPEN_PATH_DISK_DESCRIPTION",
+    "OpenPathDiskScheduler",
+    "SEMAPHORE_DISK_DESCRIPTION",
+    "SemaphoreDiskFcfs",
+    "SERIALIZER_DISK_DESCRIPTION",
+    "SerializerDiskScheduler",
+    "make_verifier",
+    "random_plan",
+    "run_requests",
+    "scan_next",
+]
+
+from .ext_impls import (
+    CCR_DISK_DESCRIPTION,
+    CSP_DISK_DESCRIPTION,
+    CcrDiskScheduler,
+    CspDiskScheduler,
+)
+
+__all__ += [
+    "CCR_DISK_DESCRIPTION",
+    "CSP_DISK_DESCRIPTION",
+    "CcrDiskScheduler",
+    "CspDiskScheduler",
+]

@@ -1,0 +1,202 @@
+"""Disk head scheduler under the §6 extension mechanisms (experiment E11).
+
+Parameters (T3) are the interesting axis:
+
+* CSP carries the track number *in the request message* — the most direct
+  parameter handling of any mechanism in the study; the SCAN policy is
+  ordinary sequential code inside the server;
+* CCR guards must compare against shared state, so the whole SCAN
+  computation moves into guard closures over hand-maintained pending/head/
+  direction variables — expressible but entirely manual.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel, ReceiveOp, select
+from ...resources import Disk
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+from .impls import scan_next
+
+T3 = InformationType.PARAMETERS
+T4 = InformationType.SYNC_STATE
+
+
+class CspDiskScheduler(SolutionBase):
+    """Server-side SCAN: requests carry (track, reply); grants are replies."""
+
+    problem = "disk_scheduler"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, tracks: int = 200,
+                 start_track: int = 0, name: str = "disk") -> None:
+        super().__init__(sched, name)
+        self.disk = Disk(tracks, start_track)
+        self.ch_request = Channel(sched, name + ".request")
+        self.ch_done = Channel(sched, name + ".done")
+        self._head = start_track
+        self._up = True
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        pending: List = []  # (track, reply)
+        busy = False
+        while True:
+            # Drain every request already offered on the channel, so the
+            # SCAN decision sees the same pending set an outside observer
+            # (the oracle) does.
+            while self.ch_request.senders_waiting:
+                msg = yield from self.ch_request.receive()
+                pending.append(msg)
+            if not busy and pending:
+                tracks = [t for t, __ in pending]
+                chosen = scan_next(self._head, self._up, tracks)
+                for position, (track, reply) in enumerate(pending):
+                    if track == chosen:
+                        del pending[position]
+                        break
+                self._up = chosen >= self._head
+                self._head = chosen
+                busy = True
+                self._sched.log("serve", self.name, chosen)
+                yield from reply.send(None)
+                continue
+            index, msg = yield from select(self._sched, [
+                ReceiveOp(self.ch_request),
+                ReceiveOp(self.ch_done, guard=busy),
+            ])
+            if index == 0:
+                pending.append(msg)
+            else:
+                busy = False
+
+    def use(self, track: int, work: int = 1) -> Generator:
+        """Seek to ``track``, transfer, release — in elevator order."""
+        self._request("use", track)
+        self._sched.log("request", self.name, track)
+        reply = Channel(self._sched, self.name + ".reply")
+        yield from self.ch_request.send((track, reply))
+        yield from reply.receive()
+        self._start("use")
+        yield from self.disk.transfer(track)
+        yield from self._work(work)
+        self._finish("use")
+        yield from self.ch_done.send(None)
+
+
+class CcrDiskScheduler(SolutionBase):
+    """Guard-side SCAN over shared pending/head/direction variables."""
+
+    problem = "disk_scheduler"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, tracks: int = 200,
+                 start_track: int = 0, name: str = "disk") -> None:
+        super().__init__(sched, name)
+        self.disk = Disk(tracks, start_track)
+        self.cell = SharedRegion(
+            sched,
+            {"pending": [], "head": start_track, "up": True, "busy": False},
+            name=name + ".v",
+        )
+
+    def use(self, track: int, work: int = 1) -> Generator:
+        """Seek to ``track``, transfer, release — in elevator order."""
+        self._request("use", track)
+        self._sched.log("request", self.name, track)
+        cell = self.cell
+        yield from cell.enter()
+        cell.vars["pending"].append(track)
+        cell.leave()
+        yield from cell.enter(
+            lambda v: not v["busy"]
+            and scan_next(v["head"], v["up"], v["pending"]) == track
+        )
+        cell.vars["pending"].remove(track)
+        cell.vars["up"] = track >= cell.vars["head"]
+        cell.vars["head"] = track
+        cell.vars["busy"] = True
+        cell.leave()
+        self._sched.log("serve", self.name, track)
+        self._start("use")
+        yield from self.disk.transfer(track)
+        yield from self._work(work)
+        self._finish("use")
+        yield from cell.enter()
+        cell.vars["busy"] = False
+        cell.leave()
+
+
+CSP_DISK_DESCRIPTION = SolutionDescription(
+    problem="disk_scheduler",
+    mechanism="csp",
+    components=(
+        Component("chan:request", "queue", "(track, reply) messages"),
+        Component("chan:done", "queue"),
+        Component("proc:scan_loop", "procedure",
+                  "pick scan-next from pending; reply; await done"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("proc:scan_loop", "chan:done"),
+            constructs=("server_process",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.DIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="elevator_order",
+            components=("chan:request", "proc:scan_loop"),
+            constructs=("message_payload", "server_process"),
+            directness=Directness.DIRECT,
+            info_handling={T3: Directness.DIRECT},
+            notes="parameters ride in the message — the most direct T3 "
+            "handling in the study",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_DISK_DESCRIPTION = SolutionDescription(
+    problem="disk_scheduler",
+    mechanism="ccr",
+    components=(
+        Component("var:pending", "variable"),
+        Component("var:head", "variable"),
+        Component("var:up", "variable"),
+        Component("var:busy", "variable"),
+        Component("guard:scan", "guard",
+                  "when not busy and scan_next(head, up, pending) = track"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("var:busy", "guard:scan"),
+            constructs=("region_guard",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.INDIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="elevator_order",
+            components=("var:pending", "var:head", "var:up", "guard:scan"),
+            constructs=("region_guard", "shared_variables"),
+            directness=Directness.INDIRECT,
+            info_handling={T3: Directness.INDIRECT},
+            notes="guards compare only shared variables, so the parameter "
+            "must first be copied into one and the whole SCAN policy lives "
+            "in the guard closure",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

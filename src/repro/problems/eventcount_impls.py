@@ -1,0 +1,270 @@
+"""Eventcount/sequencer solutions (Reed & Kanodia, SOSP 1979) — E11 family.
+
+The construct's profile under the methodology:
+
+* request time: **direct** — the sequencer IS a request-time capture device
+  (the ticket machine gives FCFS in three lines);
+* history: **direct** — eventcounts are exactly §3's history information
+  ("whether a given event has occurred"), made a first-class object;
+* local state: indirect — encoded as differences between counts
+  (the Reed–Kanodia bounded buffer: ``in - out`` is the occupancy);
+* request type and priority: **no purchase at all** — counts order
+  occurrences but cannot distinguish kinds, so the readers/writers priority
+  family is out of reach (recorded as an infeasibility, like base paths and
+  parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ..mechanisms.eventcount import EventCount, Sequencer
+from ..runtime.scheduler import Scheduler
+from .base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+T5 = InformationType.LOCAL_STATE
+T6 = InformationType.HISTORY
+
+
+class EventCountFcfsResource(SolutionBase):
+    """The ticket machine: ``t = ticket(); await(t); use; advance()``."""
+
+    problem = "fcfs_resource"
+    mechanism = "eventcount"
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        super().__init__(sched, name)
+        self.seq = Sequencer(sched, name + ".seq")
+        self.done = EventCount(sched, name + ".done")
+
+    def use(self, work: int = 1) -> Generator:
+        """Acquire, hold for ``work`` steps, release."""
+        self._request("use")
+        ticket = self.seq.ticket()
+        yield from self.done.await_(ticket)
+        self._start("use")
+        yield from self._work(work)
+        self._finish("use")
+        self.done.advance()
+
+
+class EventCountBoundedBuffer(SolutionBase):
+    """Reed & Kanodia's own bounded buffer: occupancy is ``in - out``.
+
+    Two producer-side sequencers serialize same-role contenders (their
+    multi-producer generalization); eventcounts carry the data hand-off.
+    The buffer cells live in a plain list indexed by ticket modulo capacity,
+    so the *local state* constraint is realized purely through history
+    counts — §3's interchangeability driven to its extreme.
+    """
+
+    problem = "bounded_buffer"
+    mechanism = "eventcount"
+
+    def __init__(self, sched: Scheduler, capacity: int = 4,
+                 name: str = "buf") -> None:
+        super().__init__(sched, name)
+        self.capacity = capacity
+        self._slots: List[Any] = [None] * capacity
+        self.ec_in = EventCount(sched, name + ".in")
+        self.ec_out = EventCount(sched, name + ".out")
+        self.seq_p = Sequencer(sched, name + ".pseq")
+        self.seq_c = Sequencer(sched, name + ".cseq")
+
+    @property
+    def size(self) -> int:
+        """Occupancy, reconstructed from the two counts."""
+        return self.ec_in.read() - self.ec_out.read()
+
+    def put(self, item: Any, work: int = 0) -> Generator:
+        """Insert one item, blocking while the buffer is full."""
+        self._request("put", item)
+        ticket = self.seq_p.ticket()            # my production index
+        yield from self.ec_in.await_(ticket)    # wait for earlier producers
+        yield from self.ec_out.await_(ticket + 1 - self.capacity)
+        self._start("put")
+        self._slots[ticket % self.capacity] = item
+        yield from self._work(work)
+        self._finish("put")
+        self.ec_in.advance()
+
+    def get(self, work: int = 0) -> Generator:
+        """Remove and return the oldest item, blocking while empty."""
+        self._request("get")
+        ticket = self.seq_c.ticket()
+        yield from self.ec_out.await_(ticket)   # wait for earlier consumers
+        yield from self.ec_in.await_(ticket + 1)
+        self._start("get")
+        item = self._slots[ticket % self.capacity]
+        yield from self._work(work)
+        self._finish("get")
+        self.ec_out.advance()
+        return item
+
+
+class EventCountOneSlotBuffer(SolutionBase):
+    """The capacity-1 special case: strict alternation from two counts."""
+
+    problem = "one_slot_buffer"
+    mechanism = "eventcount"
+
+    def __init__(self, sched: Scheduler, name: str = "slot") -> None:
+        super().__init__(sched, name)
+        self._value: Any = None
+        self.ec_in = EventCount(sched, name + ".in")
+        self.ec_out = EventCount(sched, name + ".out")
+        self.seq_p = Sequencer(sched, name + ".pseq")
+        self.seq_c = Sequencer(sched, name + ".cseq")
+
+    def put(self, item: Any) -> Generator:
+        """Fill the slot (blocks until the previous value was consumed)."""
+        self._request("put", item)
+        ticket = self.seq_p.ticket()
+        yield from self.ec_in.await_(ticket)
+        yield from self.ec_out.await_(ticket)
+        self._start("put")
+        self._value = item
+        self._finish("put")
+        self.ec_in.advance()
+
+    def get(self) -> Generator:
+        """Drain the slot (blocks until a value is present)."""
+        self._request("get")
+        ticket = self.seq_c.ticket()
+        yield from self.ec_out.await_(ticket)
+        yield from self.ec_in.await_(ticket + 1)
+        self._start("get")
+        item = self._value
+        self._finish("get")
+        self.ec_out.advance()
+        return item
+
+
+# ----------------------------------------------------------------------
+# Descriptions
+# ----------------------------------------------------------------------
+EVENTCOUNT_FCFS_DESCRIPTION = SolutionDescription(
+    problem="fcfs_resource",
+    mechanism="eventcount",
+    components=(
+        Component("seq:tickets", "counter", "sequencer"),
+        Component("ec:done", "counter", "completions eventcount"),
+        Component("proto:ticket_machine", "procedure",
+                  "t := ticket(); await(done, t); use; advance(done)"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("seq:tickets", "ec:done", "proto:ticket_machine"),
+            constructs=("sequencer", "eventcount"),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.INDIRECT},
+            notes="exclusion falls out of tickets being unique",
+        ),
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("seq:tickets",),
+            constructs=("sequencer",),
+            directness=Directness.DIRECT,
+            info_handling={T2: Directness.DIRECT},
+            notes="the sequencer IS a request-time capture device — the "
+            "construct's home turf",
+        ),
+    ),
+    modularity=ModularityProfile(False, False, False,
+                                 "like semaphores: code at points of use"),
+)
+
+EVENTCOUNT_BOUNDED_BUFFER_DESCRIPTION = SolutionDescription(
+    problem="bounded_buffer",
+    mechanism="eventcount",
+    components=(
+        Component("ec:in", "counter", "items produced"),
+        Component("ec:out", "counter", "items consumed"),
+        Component("seq:producers", "counter"),
+        Component("seq:consumers", "counter"),
+        Component("proto:put", "procedure",
+                  "t := pticket(); await(in, t); await(out, t+1-N); "
+                  "slot[t mod N] := x; advance(in)"),
+        Component("proto:get", "procedure",
+                  "t := cticket(); await(out, t); await(in, t+1); "
+                  "x := slot[t mod N]; advance(out)"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="buffer_bounds",
+            components=("ec:in", "ec:out", "proto:put", "proto:get"),
+            constructs=("eventcount",),
+            directness=Directness.INDIRECT,
+            info_handling={T5: Directness.INDIRECT, T6: Directness.DIRECT},
+            notes="local state exists only as the difference of two history "
+            "counts (Reed-Kanodia's own example) — §3 interchangeability "
+            "at its purest",
+        ),
+        ConstraintRealization(
+            constraint_id="buffer_mutex",
+            components=("seq:producers", "seq:consumers"),
+            constructs=("sequencer",),
+            directness=Directness.INDIRECT,
+            info_handling={T4: Directness.INDIRECT},
+            notes="same-role contenders serialized by ticket; cross-role "
+            "overlap is harmless by slot-index disjointness",
+        ),
+    ),
+    modularity=ModularityProfile(False, False, False),
+)
+
+EVENTCOUNT_ONE_SLOT_DESCRIPTION = SolutionDescription(
+    problem="one_slot_buffer",
+    mechanism="eventcount",
+    components=(
+        Component("ec:in", "counter"),
+        Component("ec:out", "counter"),
+        Component("proto:alternation", "procedure",
+                  "put awaits out = t; get awaits in = t+1"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="slot_alternation",
+            components=("ec:in", "ec:out", "proto:alternation"),
+            constructs=("eventcount",),
+            directness=Directness.DIRECT,
+            info_handling={T6: Directness.DIRECT},
+            notes="history IS the construct: counts of completed puts/gets",
+        ),
+    ),
+    modularity=ModularityProfile(False, False, False),
+)
+
+#: The methodology's negative finding: no request-type purchase.
+EVENTCOUNT_RW_INFEASIBLE = SolutionDescription(
+    problem="readers_priority",
+    mechanism="eventcount",
+    components=(),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=(),
+            constructs=(),
+            directness=Directness.UNSUPPORTED,
+            info_handling={T1: Directness.UNSUPPORTED},
+            notes="eventcounts order occurrences but cannot distinguish "
+            "kinds: 'readers over writers' has no counting formulation "
+            "without rebuilding a scheduler in shared data",
+        ),
+    ),
+    modularity=ModularityProfile(False, False, False,
+                                 "no solution exists; judged on the attempt"),
+    notes="negative result recorded per §4.1",
+)

@@ -1,0 +1,87 @@
+"""First-come-first-served resource (footnote 2: the request-time problem)."""
+
+from typing import Callable, List
+
+from ...runtime.errors import ProcessFailed
+from ...runtime.scheduler import Scheduler
+from ...verify import check_fcfs, check_single_occupancy
+from .impls import (
+    MONITOR_FCFS_DESCRIPTION,
+    MonitorFcfsResource,
+    PATH_FCFS_DESCRIPTION,
+    PathFcfsResource,
+    SEMAPHORE_FCFS_DESCRIPTION,
+    SemaphoreFcfsResource,
+    SERIALIZER_FCFS_DESCRIPTION,
+    SerializerFcfsResource,
+)
+
+
+def run_contenders(factory, contenders: int = 6, rounds: int = 2,
+                   policy=None, stagger: bool = True):
+    """``contenders`` processes each use the resource ``rounds`` times,
+    arriving at staggered virtual times so arrival order is unambiguous."""
+    sched = Scheduler(policy=policy)
+    impl = factory(sched)
+
+    def user(index):
+        def body():
+            if stagger:
+                yield from sched.sleep(index)
+            for __ in range(rounds):
+                yield from impl.use(work=2)
+        return body
+
+    for i in range(contenders):
+        sched.spawn(user(i), name="U{}".format(i))
+    return sched.run(on_deadlock="return")
+
+
+def make_verifier(factory, name: str = "res") -> Callable[[], List[str]]:
+    """Oracle battery: single occupancy + strict FCFS."""
+
+    def verify() -> List[str]:
+        violations: List[str] = []
+        for label, stagger in (("staggered", True), ("burst", False)):
+            try:
+                result = run_contenders(factory, stagger=stagger)
+            except ProcessFailed as failure:
+                violations.append("{}: {}".format(label, failure))
+                continue
+            for msg in check_single_occupancy(result.trace, name, ["use"]):
+                violations.append("{}: {}".format(label, msg))
+            for msg in check_fcfs(result.trace, name, ["use"]):
+                violations.append("{}: {}".format(label, msg))
+            if result.deadlocked:
+                violations.append("{}: deadlock".format(label))
+        return violations
+
+    return verify
+
+
+__all__ = [
+    "MONITOR_FCFS_DESCRIPTION",
+    "MonitorFcfsResource",
+    "PATH_FCFS_DESCRIPTION",
+    "PathFcfsResource",
+    "SEMAPHORE_FCFS_DESCRIPTION",
+    "SemaphoreFcfsResource",
+    "SERIALIZER_FCFS_DESCRIPTION",
+    "SerializerFcfsResource",
+    "make_verifier",
+    "run_contenders",
+]
+
+from .ext_impls import (
+    CCR_FCFS_DESCRIPTION,
+    CSP_FCFS_DESCRIPTION,
+    CcrFcfsResource,
+    CspFcfsResource,
+)
+
+__all__ += [
+    "CCR_FCFS_DESCRIPTION",
+    "CSP_FCFS_DESCRIPTION",
+    "CcrFcfsResource",
+    "CspFcfsResource",
+]

@@ -1,0 +1,155 @@
+"""FCFS resource under the §6 extension mechanisms (experiment E11).
+
+The contrast the methodology surfaces:
+
+* CSP gets arrival order *for free* — the request channel's sender queue is
+  the FCFS queue (T2 direct, like serializer queues);
+* CCR guards cannot see time at all — FCFS needs the hand-rolled ticket
+  protocol (T2 indirect, the same verdict as base path expressions).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class CspFcfsResource(SolutionBase):
+    """Grant loop: take next request (channel FIFO), reply, await done."""
+
+    problem = "fcfs_resource"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        super().__init__(sched, name)
+        self.ch_request = Channel(sched, name + ".request")
+        self.ch_done = Channel(sched, name + ".done")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        while True:
+            reply = yield from self.ch_request.receive()
+            yield from reply.send(None)
+            yield from self.ch_done.receive()
+
+    def use(self, work: int = 1) -> Generator:
+        """Acquire, hold for ``work`` steps, release."""
+        self._request("use")
+        reply = Channel(self._sched, self.name + ".reply")
+        yield from self.ch_request.send(reply)
+        yield from reply.receive()
+        self._start("use")
+        yield from self._work(work)
+        self._finish("use")
+        yield from self.ch_done.send(None)
+
+
+class CcrFcfsResource(SolutionBase):
+    """Ticket dispenser: guards cannot reference arrival order, so order is
+    reified into shared variables by hand."""
+
+    problem = "fcfs_resource"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        super().__init__(sched, name)
+        self.cell = SharedRegion(
+            sched, {"next_ticket": 0, "turn": 0, "busy": False},
+            name=name + ".v",
+        )
+
+    def use(self, work: int = 1) -> Generator:
+        """Acquire, hold for ``work`` steps, release."""
+        self._request("use")
+        cell = self.cell
+        yield from cell.enter()
+        ticket = cell.vars["next_ticket"]
+        cell.vars["next_ticket"] += 1
+        cell.leave()
+        yield from cell.enter(
+            lambda v: v["turn"] == ticket and not v["busy"]
+        )
+        cell.vars["busy"] = True
+        cell.leave()
+        self._start("use")
+        yield from self._work(work)
+        self._finish("use")
+        yield from cell.enter()
+        cell.vars["busy"] = False
+        cell.vars["turn"] += 1
+        cell.leave()
+
+
+CSP_FCFS_DESCRIPTION = SolutionDescription(
+    problem="fcfs_resource",
+    mechanism="csp",
+    components=(
+        Component("chan:request", "queue", "FIFO sender queue = arrivals"),
+        Component("chan:done", "queue"),
+        Component("proc:grant_loop", "procedure",
+                  "receive request; reply; await done"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("proc:grant_loop", "chan:done"),
+            constructs=("server_process",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.DIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("chan:request",),
+            constructs=("channel_fifo",),
+            directness=Directness.DIRECT,
+            info_handling={T2: Directness.DIRECT},
+            notes="the channel queue IS the FCFS queue",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_FCFS_DESCRIPTION = SolutionDescription(
+    problem="fcfs_resource",
+    mechanism="ccr",
+    components=(
+        Component("var:tickets", "variable", "next_ticket / turn"),
+        Component("var:busy", "variable"),
+        Component("guard:turn", "guard",
+                  "region when turn = my ticket and not busy"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("var:busy", "guard:turn"),
+            constructs=("region_guard",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.INDIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("var:tickets", "guard:turn"),
+            constructs=("ticket_protocol", "region_guard"),
+            directness=Directness.INDIRECT,
+            info_handling={T2: Directness.INDIRECT},
+            notes="guards cannot see request time; the ticket protocol "
+            "reconstructs it — the same indirectness class as base paths",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

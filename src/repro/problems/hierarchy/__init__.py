@@ -1,0 +1,13 @@
+"""Hierarchically structured resources (§5.2 nested-monitor-call study)."""
+
+from .scenarios import (
+    run_layered_protected,
+    run_nested_monitors,
+    run_serializer_nested,
+)
+
+__all__ = [
+    "run_layered_protected",
+    "run_nested_monitors",
+    "run_serializer_nested",
+]

@@ -1,0 +1,152 @@
+"""One-slot buffer under the §6 extension mechanisms (experiment E11).
+
+A bare rendezvous channel *is* a one-slot buffer (send/receive complete
+pairwise — see ``tests/test_channels.py::test_channel_as_one_slot_buffer``);
+the CSP solution here routes through a tiny server so the uniform
+``op_start``/``op_end`` trace the alternation oracle consumes is emitted in
+completion order.  The CCR solution reads the slot's occupancy flag —
+history folded into local state, as §3 predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel, ReceiveOp, SendOp, select
+from ...resources import SlotBuffer
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T5 = InformationType.LOCAL_STATE
+T6 = InformationType.HISTORY
+
+
+class CspOneSlotBuffer(SolutionBase):
+    """A single-cell CSP server alternating between a put-arm and a
+    get-arm; the slot's occupancy is the select guard."""
+
+    problem = "one_slot_buffer"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, name: str = "slot") -> None:
+        super().__init__(sched, name)
+        self.slot = SlotBuffer()
+        self.ch_put = Channel(sched, name + ".put")
+        self.ch_get = Channel(sched, name + ".get")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        while True:
+            arms = [
+                ReceiveOp(self.ch_put, guard=not self.slot.occupied),
+                SendOp(
+                    self.ch_get,
+                    self.slot.peek() if self.slot.occupied else None,
+                    guard=self.slot.occupied,
+                ),
+            ]
+            index, item = yield from select(self._sched, arms)
+            if index == 0:
+                self._start("put")
+                yield from self.slot.put(item)
+                self._finish("put")
+            else:
+                self._start("get")
+                yield from self.slot.get()
+                self._finish("get")
+
+    def put(self, item: Any) -> Generator:
+        """Fill the slot (blocks until the previous value was consumed)."""
+        self._request("put", item)
+        yield from self.ch_put.send(item)
+
+    def get(self) -> Generator:
+        """Drain the slot (blocks until a value is present)."""
+        self._request("get")
+        item = yield from self.ch_get.receive()
+        return item
+
+
+class CcrOneSlotBuffer(SolutionBase):
+    """``region slot when occupied do get`` — alternation from one flag."""
+
+    problem = "one_slot_buffer"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "slot") -> None:
+        super().__init__(sched, name)
+        self.slot = SlotBuffer()
+        self.cell = SharedRegion(sched, {}, name=name + ".v")
+
+    def put(self, item: Any) -> Generator:
+        """Fill the slot (blocks until the previous value was consumed)."""
+        self._request("put", item)
+        yield from self.cell.enter(lambda v: not self.slot.occupied)
+        self._start("put")
+        yield from self.slot.put(item)
+        self._finish("put")
+        self.cell.leave()
+
+    def get(self) -> Generator:
+        """Drain the slot (blocks until a value is present)."""
+        self._request("get")
+        yield from self.cell.enter(lambda v: self.slot.occupied)
+        self._start("get")
+        item = yield from self.slot.get()
+        self._finish("get")
+        self.cell.leave()
+        return item
+
+
+CSP_ONE_SLOT_DESCRIPTION = SolutionDescription(
+    problem="one_slot_buffer",
+    mechanism="csp",
+    components=(
+        Component("chan:put", "queue"),
+        Component("chan:get", "queue"),
+        Component("guard:occupancy", "guard",
+                  "put-arm when vacant, get-arm when occupied"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="slot_alternation",
+            components=("chan:put", "chan:get", "guard:occupancy"),
+            constructs=("guarded_select", "server_process", "rendezvous"),
+            directness=Directness.DIRECT,
+            info_handling={T6: Directness.DIRECT, T5: Directness.DIRECT},
+            notes="a bare rendezvous channel already IS a one-slot buffer; "
+            "history is the server's loop position",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_ONE_SLOT_DESCRIPTION = SolutionDescription(
+    problem="one_slot_buffer",
+    mechanism="ccr",
+    components=(
+        Component("guard:put", "guard", "region when not occupied"),
+        Component("guard:get", "guard", "region when occupied"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="slot_alternation",
+            components=("guard:put", "guard:get"),
+            constructs=("region_guard",),
+            directness=Directness.DIRECT,
+            info_handling={T6: Directness.DIRECT, T5: Directness.DIRECT},
+            notes="history read as local state (occupied flag) — §3's "
+            "interchangeability, same as the monitor solution",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

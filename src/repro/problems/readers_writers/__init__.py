@@ -1,0 +1,112 @@
+"""The readers/writers problem family — the paper's central example.
+
+Three specifications (readers priority, writers priority, FCFS) × four
+mechanisms.  The path-expression solutions are the paper's Figures 1 and 2,
+preserved warts and all (footnote-3 anomaly included).
+"""
+
+from .monitor_impl import (
+    MONITOR_READERS_PRIORITY_DESCRIPTION,
+    MONITOR_RW_FCFS_DESCRIPTION,
+    MONITOR_WRITERS_PRIORITY_DESCRIPTION,
+    MonitorReadersPriority,
+    MonitorRWFcfs,
+    MonitorWritersPriority,
+)
+from .pathexpr_impl import (
+    FCFS_PATHS,
+    FIGURE1_PATHS,
+    FIGURE2_PATHS,
+    PATH_READERS_PRIORITY_DESCRIPTION,
+    PATH_RW_FCFS_DESCRIPTION,
+    PATH_WRITERS_PRIORITY_DESCRIPTION,
+    PathReadersPriority,
+    PathRWFcfs,
+    PathWritersPriority,
+)
+from .semaphore_impl import (
+    READERS_PRIORITY_DESCRIPTION as SEMAPHORE_READERS_PRIORITY_DESCRIPTION,
+    SemaphoreReadersPriority,
+    SemaphoreWritersPriority,
+    WRITERS_PRIORITY_DESCRIPTION as SEMAPHORE_WRITERS_PRIORITY_DESCRIPTION,
+)
+from .serializer_impl import (
+    SERIALIZER_READERS_PRIORITY_DESCRIPTION,
+    SERIALIZER_RW_FCFS_DESCRIPTION,
+    SERIALIZER_WRITERS_PRIORITY_DESCRIPTION,
+    SerializerReadersPriority,
+    SerializerRWFcfs,
+    SerializerWritersPriority,
+)
+from .workloads import (
+    BURST_PLAN,
+    PHASED_PLAN,
+    make_verifier,
+    run_workload,
+    staggered_plan,
+)
+
+__all__ = [
+    "BURST_PLAN",
+    "FCFS_PATHS",
+    "FIGURE1_PATHS",
+    "FIGURE2_PATHS",
+    "MONITOR_READERS_PRIORITY_DESCRIPTION",
+    "MONITOR_RW_FCFS_DESCRIPTION",
+    "MONITOR_WRITERS_PRIORITY_DESCRIPTION",
+    "MonitorRWFcfs",
+    "MonitorReadersPriority",
+    "MonitorWritersPriority",
+    "PATH_READERS_PRIORITY_DESCRIPTION",
+    "PATH_RW_FCFS_DESCRIPTION",
+    "PATH_WRITERS_PRIORITY_DESCRIPTION",
+    "PHASED_PLAN",
+    "PathRWFcfs",
+    "PathReadersPriority",
+    "PathWritersPriority",
+    "SEMAPHORE_READERS_PRIORITY_DESCRIPTION",
+    "SEMAPHORE_WRITERS_PRIORITY_DESCRIPTION",
+    "SERIALIZER_READERS_PRIORITY_DESCRIPTION",
+    "SERIALIZER_RW_FCFS_DESCRIPTION",
+    "SERIALIZER_WRITERS_PRIORITY_DESCRIPTION",
+    "SemaphoreReadersPriority",
+    "SemaphoreWritersPriority",
+    "SerializerRWFcfs",
+    "SerializerReadersPriority",
+    "SerializerWritersPriority",
+    "make_verifier",
+    "run_workload",
+    "staggered_plan",
+]
+
+from .ccr_impl import (
+    CCR_RW_FCFS_DESCRIPTION,
+    CCR_READERS_PRIORITY_DESCRIPTION,
+    CCR_WRITERS_PRIORITY_DESCRIPTION,
+    CcrRWFcfs,
+    CcrReadersPriority,
+    CcrWritersPriority,
+)
+from .csp_impl import (
+    CSP_RW_FCFS_DESCRIPTION,
+    CSP_READERS_PRIORITY_DESCRIPTION,
+    CSP_WRITERS_PRIORITY_DESCRIPTION,
+    CspRWFcfs,
+    CspReadersPriority,
+    CspWritersPriority,
+)
+
+__all__ += [
+    "CCR_READERS_PRIORITY_DESCRIPTION",
+    "CCR_RW_FCFS_DESCRIPTION",
+    "CCR_WRITERS_PRIORITY_DESCRIPTION",
+    "CSP_READERS_PRIORITY_DESCRIPTION",
+    "CSP_RW_FCFS_DESCRIPTION",
+    "CSP_WRITERS_PRIORITY_DESCRIPTION",
+    "CcrRWFcfs",
+    "CcrReadersPriority",
+    "CcrWritersPriority",
+    "CspRWFcfs",
+    "CspReadersPriority",
+    "CspWritersPriority",
+]

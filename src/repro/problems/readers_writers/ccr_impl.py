@@ -1,0 +1,303 @@
+"""Readers/writers under conditional critical regions (experiment E11).
+
+CCR guards read shared variables, so every piece of scheduling information
+must first be *put into* a shared variable by hand: reader/writer interest
+counts for the priority variants, an explicit ticket dispenser for FCFS.
+The methodology's verdict falls out immediately: the constructs compose
+(constraints stay decomposable) but nothing is automatic — every
+information type except local state is handled indirectly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...resources import Database
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class CcrReadersPriority(SolutionBase):
+    """Readers priority: writers also wait for *interested* readers, whose
+    interest is registered in a shared count before the admission region."""
+
+    problem = "readers_priority"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.cell = SharedRegion(
+            sched,
+            {"readers": 0, "writing": False, "r_interest": 0},
+            name=name + ".v",
+        )
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        cell = self.cell
+        yield from cell.enter()
+        cell.vars["r_interest"] += 1
+        cell.leave()
+        yield from cell.enter(lambda v: not v["writing"])
+        cell.vars["r_interest"] -= 1
+        cell.vars["readers"] += 1
+        cell.leave()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from cell.enter()
+        cell.vars["readers"] -= 1
+        cell.leave()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        cell = self.cell
+        yield from cell.enter(
+            lambda v: not v["writing"]
+            and v["readers"] == 0
+            and v["r_interest"] == 0
+        )
+        cell.vars["writing"] = True
+        cell.leave()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from cell.enter()
+        cell.vars["writing"] = False
+        cell.leave()
+
+
+class CcrWritersPriority(SolutionBase):
+    """Writers priority: the mirror image, with a writer-interest count."""
+
+    problem = "writers_priority"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.cell = SharedRegion(
+            sched,
+            {"readers": 0, "writing": False, "w_interest": 0},
+            name=name + ".v",
+        )
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        cell = self.cell
+        yield from cell.enter(
+            lambda v: not v["writing"] and v["w_interest"] == 0
+        )
+        cell.vars["readers"] += 1
+        cell.leave()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from cell.enter()
+        cell.vars["readers"] -= 1
+        cell.leave()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        cell = self.cell
+        yield from cell.enter()
+        cell.vars["w_interest"] += 1
+        cell.leave()
+        yield from cell.enter(
+            lambda v: not v["writing"] and v["readers"] == 0
+        )
+        cell.vars["w_interest"] -= 1
+        cell.vars["writing"] = True
+        cell.leave()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from cell.enter()
+        cell.vars["writing"] = False
+        cell.leave()
+
+
+class CcrRWFcfs(SolutionBase):
+    """Arrival order via a hand-rolled ticket dispenser: guards cannot see
+    request time, so the time is turned into shared-variable state."""
+
+    problem = "rw_fcfs"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.cell = SharedRegion(
+            sched,
+            {"readers": 0, "writing": False, "next_ticket": 0, "turn": 0},
+            name=name + ".v",
+        )
+
+    def _take_ticket(self) -> Generator:
+        yield from self.cell.enter()
+        ticket = self.cell.vars["next_ticket"]
+        self.cell.vars["next_ticket"] += 1
+        self.cell.leave()
+        return ticket
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        cell = self.cell
+        ticket = yield from self._take_ticket()
+        yield from cell.enter(
+            lambda v: v["turn"] == ticket and not v["writing"]
+        )
+        cell.vars["turn"] += 1
+        cell.vars["readers"] += 1
+        cell.leave()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from cell.enter()
+        cell.vars["readers"] -= 1
+        cell.leave()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        cell = self.cell
+        ticket = yield from self._take_ticket()
+        yield from cell.enter(
+            lambda v: v["turn"] == ticket
+            and not v["writing"]
+            and v["readers"] == 0
+        )
+        cell.vars["turn"] += 1
+        cell.vars["writing"] = True
+        cell.leave()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from cell.enter()
+        cell.vars["writing"] = False
+        cell.leave()
+
+
+# ----------------------------------------------------------------------
+# Descriptions
+# ----------------------------------------------------------------------
+_CCR_EXCLUSION_COMPONENTS = (
+    Component("var:readers", "variable", "readers := 0"),
+    Component("var:writing", "variable", "writing := false"),
+    Component("excl:read_guard", "guard", "when not writing"),
+    Component("excl:write_guard", "guard",
+              "when not writing and readers = 0"),
+)
+
+_CCR_EXCLUSION_REALIZATION = ConstraintRealization(
+    constraint_id="rw_exclusion",
+    components=tuple(c.name for c in _CCR_EXCLUSION_COMPONENTS),
+    constructs=("region_guard", "shared_variables"),
+    directness=Directness.DIRECT,
+    info_handling={T1: Directness.INDIRECT, T4: Directness.INDIRECT},
+    notes="guards are direct, but all sync state is hand-kept shared "
+    "variables; identical across the three variants",
+)
+
+CCR_READERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="readers_priority",
+    mechanism="ccr",
+    components=_CCR_EXCLUSION_COMPONENTS + (
+        Component("prio:r_interest", "variable",
+                  "reader interest count, registered pre-admission"),
+        Component("prio:write_defer", "guard",
+                  "writer also waits for r_interest = 0"),
+    ),
+    realizations=(
+        _CCR_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=("prio:r_interest", "prio:write_defer"),
+            constructs=("region_guard", "interest_count"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+            notes="no priority construct: waiting readers must make "
+            "themselves visible through an extra shared count",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=False,
+        resource_separable=True,
+        enforced_by_mechanism=False,
+        notes="region statements sit at points of use, like semaphores "
+        "(requirement 1 fails)",
+    ),
+)
+
+CCR_WRITERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="writers_priority",
+    mechanism="ccr",
+    components=_CCR_EXCLUSION_COMPONENTS + (
+        Component("prio:w_interest", "variable",
+                  "writer interest count, registered pre-admission"),
+        Component("prio:read_defer", "guard",
+                  "reader also waits for w_interest = 0"),
+    ),
+    realizations=(
+        _CCR_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="writers_priority",
+            components=("prio:w_interest", "prio:read_defer"),
+            constructs=("region_guard", "interest_count"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)
+
+CCR_RW_FCFS_DESCRIPTION = SolutionDescription(
+    problem="rw_fcfs",
+    mechanism="ccr",
+    components=_CCR_EXCLUSION_COMPONENTS + (
+        Component("prio:tickets", "variable",
+                  "next_ticket / turn dispenser"),
+        Component("prio:turn_guard", "guard", "when turn = my ticket"),
+    ),
+    realizations=(
+        _CCR_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("prio:tickets", "prio:turn_guard"),
+            constructs=("region_guard", "ticket_protocol"),
+            directness=Directness.INDIRECT,
+            info_handling={T2: Directness.INDIRECT, T1: Directness.INDIRECT},
+            notes="guards cannot see request time at all; the ticket "
+            "protocol reifies it into shared state by hand",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

@@ -1,0 +1,318 @@
+"""Readers/writers under message passing (CSP server processes).
+
+§6 of the paper flags message-passing mechanisms (CSP, guarded commands) as
+the next evaluation target; these solutions apply the methodology to them
+(experiment E11).  The synchronization scheme is a *server process* whose
+guarded-select loop encodes the constraints:
+
+* exclusion lives in the select guards over the server's own counters;
+* **priority is the textual order of the select arms** — when the resource
+  frees and both classes wait, the earlier arm's immediate match wins;
+* writers-priority additionally needs to know "is a writer *waiting*?",
+  which pure CSP guards cannot see — the implementation probes the request
+  channel's sender queue (the Ada-COUNT-style escape hatch), and the
+  solution description records this as the mechanism's indirectness, a new
+  finding produced by the paper's own method;
+* arrival order (rw_fcfs) is free: one request channel IS the FCFS queue,
+  with the request *type* riding in the message — the T1×T2 conflict
+  dissolves exactly as it does for serializers, but via message payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.channels import Channel, ReceiveOp, select
+from ...resources import Database
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class _CspRWBase(SolutionBase):
+    """Client-side protocol shared by the CSP readers/writers servers."""
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.ch_start_read = Channel(sched, name + ".start_read")
+        self.ch_end_read = Channel(sched, name + ".end_read")
+        self.ch_start_write = Channel(sched, name + ".start_write")
+        self.ch_end_write = Channel(sched, name + ".end_write")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        raise NotImplementedError
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        yield from self.ch_start_read.send(None)
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self.ch_end_read.send(None)
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self.ch_start_write.send(None)
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from self.ch_end_write.send(None)
+
+
+class CspReadersPriority(_CspRWBase):
+    """Readers priority by arm order: start_read is the first select arm."""
+
+    problem = "readers_priority"
+    mechanism = "csp"
+
+    def _server(self) -> Generator:
+        readers = 0
+        writing = False
+        while True:
+            index, __ = yield from select(self._sched, [
+                ReceiveOp(self.ch_start_read, guard=not writing),
+                ReceiveOp(self.ch_end_read, guard=readers > 0),
+                ReceiveOp(
+                    self.ch_start_write,
+                    guard=not writing and readers == 0,
+                ),
+                ReceiveOp(self.ch_end_write, guard=writing),
+            ])
+            if index == 0:
+                readers += 1
+            elif index == 1:
+                readers -= 1
+            elif index == 2:
+                writing = True
+            else:
+                writing = False
+
+
+class CspWritersPriority(_CspRWBase):
+    """Writers priority: start_write is the first arm, and the start_read
+    guard probes the writer queue (the beyond-pure-CSP step)."""
+
+    problem = "writers_priority"
+    mechanism = "csp"
+
+    def _server(self) -> Generator:
+        readers = 0
+        writing = False
+        while True:
+            index, __ = yield from select(self._sched, [
+                ReceiveOp(
+                    self.ch_start_write,
+                    guard=not writing and readers == 0,
+                ),
+                ReceiveOp(
+                    self.ch_start_read,
+                    # Queue introspection: pure CSP guards cannot reference
+                    # "a writer is waiting"; the COUNT-style probe can.
+                    guard=(
+                        not writing
+                        and self.ch_start_write.senders_waiting == 0
+                    ),
+                ),
+                ReceiveOp(self.ch_end_read, guard=readers > 0),
+                ReceiveOp(self.ch_end_write, guard=writing),
+            ])
+            if index == 0:
+                writing = True
+            elif index == 1:
+                readers += 1
+            elif index == 2:
+                readers -= 1
+            else:
+                writing = False
+
+
+class CspRWFcfs(SolutionBase):
+    """Arrival order: ONE request channel carrying (type, reply-channel).
+
+    The channel's FIFO sender queue is the arrival order; the server defers
+    the queue head until it is grantable, so service is strictly FCFS while
+    consecutive readers still overlap.
+    """
+
+    problem = "rw_fcfs"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.ch_request = Channel(sched, name + ".request")
+        self.ch_end_read = Channel(sched, name + ".end_read")
+        self.ch_end_write = Channel(sched, name + ".end_write")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        readers = 0
+        writing = False
+        pending = None  # deferred queue head: (kind, reply channel)
+        while True:
+            if pending is not None:
+                kind, reply = pending
+                grantable = (
+                    (kind == "r" and not writing)
+                    or (kind == "w" and not writing and readers == 0)
+                )
+                if grantable:
+                    if kind == "r":
+                        readers += 1
+                    else:
+                        writing = True
+                    pending = None
+                    yield from reply.send(None)
+                    continue
+            index, msg = yield from select(self._sched, [
+                ReceiveOp(self.ch_end_read, guard=readers > 0),
+                ReceiveOp(self.ch_end_write, guard=writing),
+                ReceiveOp(self.ch_request, guard=pending is None),
+            ])
+            if index == 0:
+                readers -= 1
+            elif index == 1:
+                writing = False
+            else:
+                pending = msg
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        reply = Channel(self._sched, self.name + ".reply_r")
+        yield from self.ch_request.send(("r", reply))
+        yield from reply.receive()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self.ch_end_read.send(None)
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        reply = Channel(self._sched, self.name + ".reply_w")
+        yield from self.ch_request.send(("w", reply))
+        yield from reply.receive()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from self.ch_end_write.send(None)
+
+
+# ----------------------------------------------------------------------
+# Descriptions (same constraint-granular layout as the other mechanisms)
+# ----------------------------------------------------------------------
+_CSP_EXCLUSION_COMPONENTS = (
+    Component("var:readers", "variable", "server-local reader count"),
+    Component("var:writing", "variable", "server-local writer flag"),
+    Component("excl:read_guard", "guard", "not writing"),
+    Component("excl:write_guard", "guard", "not writing and readers = 0"),
+    Component("chan:end_read", "queue", "completion channel"),
+    Component("chan:end_write", "queue", "completion channel"),
+)
+
+_CSP_EXCLUSION_REALIZATION = ConstraintRealization(
+    constraint_id="rw_exclusion",
+    components=tuple(c.name for c in _CSP_EXCLUSION_COMPONENTS),
+    constructs=("server_process", "guarded_select", "message_payload"),
+    directness=Directness.DIRECT,
+    info_handling={T1: Directness.DIRECT, T4: Directness.INDIRECT},
+    notes="sync state is server-local data, like a monitor's (hand-kept); "
+    "type = which channel the request arrives on",
+)
+
+CSP_READERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="readers_priority",
+    mechanism="csp",
+    components=_CSP_EXCLUSION_COMPONENTS + (
+        Component("prio:arm_order", "guard",
+                  "start_read is the first select arm"),
+    ),
+    realizations=(
+        _CSP_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=("prio:arm_order",),
+            constructs=("arm_order",),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+            notes="priority = textual order of guarded alternatives",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=False,
+        enforced_by_mechanism=True,
+        notes="the server encapsulates access, but resource handling and "
+        "synchronization share one loop (monitor-like blending)",
+    ),
+)
+
+CSP_WRITERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="writers_priority",
+    mechanism="csp",
+    components=_CSP_EXCLUSION_COMPONENTS + (
+        Component("prio:arm_order", "guard",
+                  "start_write is the first select arm"),
+        Component("prio:queue_probe", "guard",
+                  "start_read guard probes start_write.senders_waiting"),
+    ),
+    realizations=(
+        _CSP_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="writers_priority",
+            components=("prio:arm_order", "prio:queue_probe"),
+            constructs=("arm_order", "queue_introspection"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+            notes="NEW finding via the methodology: 'a writer is waiting' "
+            "is sync state about *senders*, which pure CSP guards cannot "
+            "express — needs Ada-COUNT-style channel introspection",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CSP_RW_FCFS_DESCRIPTION = SolutionDescription(
+    problem="rw_fcfs",
+    mechanism="csp",
+    components=_CSP_EXCLUSION_COMPONENTS + (
+        Component("chan:request", "queue",
+                  "single request channel = arrival order"),
+        Component("var:pending", "variable", "deferred queue head"),
+    ),
+    realizations=(
+        _CSP_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("chan:request", "var:pending"),
+            constructs=("channel_fifo", "message_payload"),
+            directness=Directness.DIRECT,
+            info_handling={T2: Directness.DIRECT, T1: Directness.DIRECT},
+            notes="one channel = arrival order; the type rides in the "
+            "message — the T1xT2 conflict dissolves, as with serializers",
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)

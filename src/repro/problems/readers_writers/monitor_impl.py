@@ -1,0 +1,402 @@
+"""Readers/writers with Hoare monitors (§5.2 of the paper).
+
+Three variants:
+
+* :class:`MonitorReadersPriority` — Hoare's CACM-74 version: readers wait
+  only while a write is in progress; ``end_write`` signals readers first.
+* :class:`MonitorWritersPriority` — the modification probe: readers also
+  wait when writers are *queued*; ``end_write`` prefers queued writers.
+  Note how little changes between the two: the exclusion machinery
+  (``busy`` / ``readercount`` / the two conditions) is identical, which is
+  exactly the constraint-independence the paper credits monitors with.
+* :class:`MonitorRWFcfs` — arrival-order service.  This needs request *time*
+  and request *type* together, the one conflicting pair in monitors (§5.2):
+  a single condition queue keeps arrival order, while the type of each
+  waiter is hand-kept in monitor-local data — the standard two-stage
+  queuing resolution, exercised further in experiment E8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.monitor import Monitor
+from ...resources import Database
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class _MonitorRWBase(SolutionBase):
+    """Common §2 structure: monitor *around* the access decisions, database
+    outside it — the shared-resource/resource/monitor layering of §5.2."""
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.mon = Monitor(sched, name + ".mon")
+        self.ok_to_read = self.mon.condition("ok_to_read")
+        self.ok_to_write = self.mon.condition("ok_to_write")
+        self._readercount = 0
+        self._busy = False
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        yield from self.start_read()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self.end_read()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self.start_write()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from self.end_write()
+
+    # Monitor procedures provided by subclasses:
+    def start_read(self) -> Generator:
+        raise NotImplementedError
+
+    def end_read(self) -> Generator:
+        yield from self.mon.enter()
+        self._readercount -= 1
+        if self._readercount == 0:
+            yield from self.ok_to_write.signal()
+        self.mon.exit()
+
+    def start_write(self) -> Generator:
+        raise NotImplementedError
+
+    def end_write(self) -> Generator:
+        raise NotImplementedError
+
+
+class MonitorReadersPriority(_MonitorRWBase):
+    """Hoare's readers-priority monitor."""
+
+    problem = "readers_priority"
+    mechanism = "monitor"
+
+    def start_read(self) -> Generator:
+        yield from self.mon.enter()
+        if self._busy:
+            yield from self.ok_to_read.wait()
+        self._readercount += 1
+        # Cascade: one signal admits the whole waiting batch of readers.
+        yield from self.ok_to_read.signal()
+        self.mon.exit()
+
+    def start_write(self) -> Generator:
+        yield from self.mon.enter()
+        if self._readercount != 0 or self._busy:
+            yield from self.ok_to_write.wait()
+        self._busy = True
+        self.mon.exit()
+
+    def end_write(self) -> Generator:
+        yield from self.mon.enter()
+        self._busy = False
+        if self.ok_to_read.queue:  # readers first: their priority
+            yield from self.ok_to_read.signal()
+        else:
+            yield from self.ok_to_write.signal()
+        self.mon.exit()
+
+
+class MonitorWritersPriority(_MonitorRWBase):
+    """The probe variant: only the priority decision points change."""
+
+    problem = "writers_priority"
+    mechanism = "monitor"
+
+    def start_read(self) -> Generator:
+        yield from self.mon.enter()
+        # CHANGED: readers also defer to *waiting* writers (T4 about the
+        # writer queue, read off the condition variable).
+        if self._busy or self.ok_to_write.queue:
+            yield from self.ok_to_read.wait()
+        self._readercount += 1
+        yield from self.ok_to_read.signal()
+        self.mon.exit()
+
+    def start_write(self) -> Generator:
+        yield from self.mon.enter()
+        if self._readercount != 0 or self._busy:
+            yield from self.ok_to_write.wait()
+        self._busy = True
+        self.mon.exit()
+
+    def end_write(self) -> Generator:
+        yield from self.mon.enter()
+        self._busy = False
+        # CHANGED: writers first.
+        if self.ok_to_write.queue:
+            yield from self.ok_to_write.signal()
+        else:
+            yield from self.ok_to_read.signal()
+        self.mon.exit()
+
+
+class MonitorRWFcfs(SolutionBase):
+    """Arrival-order readers/writers: the T1 × T2 conflict case.
+
+    A single FIFO condition holds everyone (request time); a monitor-local
+    deque of request types mirrors it (request type) — the two-stage-queue
+    idiom §5.2 describes as the standard fix.
+    """
+
+    problem = "rw_fcfs"
+    mechanism = "monitor"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.mon = Monitor(sched, name + ".mon")
+        self.turn = self.mon.condition("turn")
+        self._types = deque()  # mirrors the turn queue: 'r' or 'w'
+        self._readercount = 0
+        self._busy = False
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        yield from self._start_read()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self._end_read()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._start_write()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from self._end_write()
+
+    def _must_wait(self) -> bool:
+        return self._busy or bool(self._types)
+
+    def _start_read(self) -> Generator:
+        yield from self.mon.enter()
+        if self._must_wait():
+            self._types.append("r")
+            yield from self.turn.wait()
+            self._types.popleft()
+        self._readercount += 1
+        # Admit an immediately-following reader batch (stays FCFS because
+        # only the queue head is ever signalled).  signal_and_exit keeps the
+        # admitting reader running first, so op_start order matches grant
+        # order (Hoare's "signal as the last operation" idiom).
+        if self._types and self._types[0] == "r" and not self._busy:
+            self.turn.signal_and_exit()
+        else:
+            self.mon.exit()
+
+    def _end_read(self) -> Generator:
+        yield from self.mon.enter()
+        self._readercount -= 1
+        if self._readercount == 0 and self._types:
+            yield from self.turn.signal()
+        self.mon.exit()
+
+    def _start_write(self) -> Generator:
+        yield from self.mon.enter()
+        if self._must_wait() or self._readercount != 0:
+            self._types.append("w")
+            yield from self.turn.wait()
+            self._types.popleft()
+            # Woken strictly when readers drained and resource free.
+        self._busy = True
+        self.mon.exit()
+
+    def _end_write(self) -> Generator:
+        yield from self.mon.enter()
+        self._busy = False
+        if self._types:
+            yield from self.turn.signal()
+        self.mon.exit()
+
+
+# ----------------------------------------------------------------------
+# Descriptions
+#
+# Component granularity matters for the §4.2 analysis: each component is one
+# constraint-attributable piece of the monitor, so the differ can see that
+# the priority flip touches ONLY the priority components (decision points)
+# while the exclusion machinery is byte-identical — the independence the
+# paper credits monitors with.
+# ----------------------------------------------------------------------
+_EXCLUSION_COMPONENTS = (
+    Component("var:readercount", "variable", "readercount := 0"),
+    Component("var:busy", "variable", "busy := false"),
+    Component("cond:ok_to_read", "condition"),
+    Component("cond:ok_to_write", "condition"),
+    Component(
+        "excl:read_admission", "procedure",
+        "wait on ok_to_read while busy; readercount := readercount + 1",
+    ),
+    Component(
+        "excl:read_cascade", "procedure",
+        "ok_to_read.signal  -- admit the whole waiting reader batch",
+    ),
+    Component(
+        "excl:read_departure", "procedure",
+        "readercount := readercount - 1; "
+        "if readercount = 0 then ok_to_write.signal",
+    ),
+    Component(
+        "excl:write_admission", "procedure",
+        "wait on ok_to_write while readercount != 0 or busy; busy := true",
+    ),
+    Component("excl:write_departure", "procedure", "busy := false"),
+)
+
+_EXCLUSION_COMPONENT_NAMES = tuple(c.name for c in _EXCLUSION_COMPONENTS)
+
+_MONITOR_RW_EXCLUSION_REALIZATION = ConstraintRealization(
+    constraint_id="rw_exclusion",
+    components=_EXCLUSION_COMPONENT_NAMES,
+    constructs=("monitor_mutex", "condition_queue", "local_data"),
+    directness=Directness.DIRECT,
+    info_handling={T1: Directness.DIRECT, T4: Directness.INDIRECT},
+    notes="sync state is a hand-kept count (readercount) — accessible but "
+    "explicit (§5.2); this machinery is IDENTICAL across the priority "
+    "variants",
+)
+
+MONITOR_READERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="readers_priority",
+    mechanism="monitor",
+    components=_EXCLUSION_COMPONENTS + (
+        Component(
+            "prio:wakeup_choice", "procedure",
+            "on end_write: if ok_to_read.queue then ok_to_read.signal "
+            "else ok_to_write.signal",
+        ),
+    ),
+    realizations=(
+        _MONITOR_RW_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=("prio:wakeup_choice",),
+            constructs=("condition_queue", "explicit_signal"),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+            notes="priority is one signalling decision — direct and local, "
+            "but the explicit signal forces choosing *some* total order "
+            "(the §5.2 exception)",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=False,
+        notes="the shared-resource/resource/monitor structure works but is "
+        "programmer discipline, not mechanism-enforced (§5.2)",
+    ),
+)
+
+MONITOR_WRITERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="writers_priority",
+    mechanism="monitor",
+    components=_EXCLUSION_COMPONENTS + (
+        Component(
+            "prio:wakeup_choice", "procedure",
+            "on end_write: if ok_to_write.queue then ok_to_write.signal "
+            "else ok_to_read.signal",
+        ),
+        Component(
+            "prio:read_defer", "procedure",
+            "start_read additionally waits while ok_to_write.queue",
+        ),
+    ),
+    realizations=(
+        _MONITOR_RW_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="writers_priority",
+            components=("prio:wakeup_choice", "prio:read_defer"),
+            constructs=("condition_queue", "explicit_signal"),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+            notes="two localized edits relative to readers_priority: the "
+            "end_write preference and one extra guard term",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=False,
+    ),
+)
+
+MONITOR_RW_FCFS_DESCRIPTION = SolutionDescription(
+    problem="rw_fcfs",
+    mechanism="monitor",
+    components=(
+        Component("var:readercount", "variable", "readercount := 0"),
+        Component("var:busy", "variable", "busy := false"),
+        Component("cond:turn", "condition", "single FIFO stage-one queue"),
+        Component("var:types", "variable",
+                  "deque mirroring the turn queue with request types"),
+        Component("proc:start_read", "procedure",
+                  "if busy or types nonempty then enqueue 'r'; turn.wait"),
+        Component("proc:end_read", "procedure",
+                  "rc-1; if rc=0 and types nonempty then turn.signal"),
+        Component("proc:start_write", "procedure",
+                  "if busy or rc!=0 or types nonempty then enqueue 'w'; "
+                  "turn.wait"),
+        Component("proc:end_write", "procedure",
+                  "busy:=false; if types nonempty then turn.signal"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="rw_exclusion",
+            components=("var:readercount", "var:busy", "proc:start_read",
+                        "proc:end_read", "proc:start_write", "proc:end_write"),
+            constructs=("monitor_mutex", "condition_queue", "local_data"),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT, T4: Directness.INDIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("cond:turn", "var:types",
+                        "proc:start_read", "proc:start_write"),
+            constructs=("condition_queue", "two_stage_queue", "local_data"),
+            directness=Directness.INDIRECT,
+            info_handling={T2: Directness.DIRECT, T1: Directness.INDIRECT},
+            notes="the §5.2 conflict: FIFO needs one queue, type handling "
+            "needs separate queues; resolved by the two-stage idiom (shadow "
+            "type deque beside the single condition)",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=False,
+    ),
+)

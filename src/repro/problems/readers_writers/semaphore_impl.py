@@ -1,0 +1,239 @@
+"""Readers/writers with bare semaphores — the Courtois–Heymans–Parnas
+solutions ([8] in the paper), used as the low-level baseline the high-level
+mechanisms are supposed to improve on.
+
+Problem 1 (readers priority) and Problem 2 (writers priority) are transcribed
+from CACM 14(10), 1971, with the paper's trace conventions added.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...resources import Database
+from ...runtime.primitives import Semaphore
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T4 = InformationType.SYNC_STATE
+
+
+class SemaphoreReadersPriority(SolutionBase):
+    """CHP Problem 1: readers have priority; writers may starve."""
+
+    problem = "readers_priority"
+    mechanism = "semaphore"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self._mutex = Semaphore(sched, 1, name + ".mutex")
+        self._wrt = Semaphore(sched, 1, name + ".wrt")
+        self._readcount = 0
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        yield from self._mutex.p()
+        self._readcount += 1
+        if self._readcount == 1:
+            yield from self._wrt.p()
+        self._mutex.v()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self._mutex.p()
+        self._readcount -= 1
+        if self._readcount == 0:
+            self._wrt.v()
+        self._mutex.v()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._wrt.p()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        self._wrt.v()
+
+
+class SemaphoreWritersPriority(SolutionBase):
+    """CHP Problem 2: writers have priority; readers may starve.
+
+    Uses the full five-semaphore construction from the 1971 paper —
+    the complexity gap versus Problem 1 is itself evidence for the paper's
+    thesis that semaphore solutions do not decompose by constraint.
+    """
+
+    problem = "writers_priority"
+    mechanism = "semaphore"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self._mutex1 = Semaphore(sched, 1, name + ".m1")
+        self._mutex2 = Semaphore(sched, 1, name + ".m2")
+        self._mutex3 = Semaphore(sched, 1, name + ".m3")
+        self._r = Semaphore(sched, 1, name + ".r")
+        self._w = Semaphore(sched, 1, name + ".w")
+        self._readcount = 0
+        self._writecount = 0
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        yield from self._mutex3.p()
+        yield from self._r.p()
+        yield from self._mutex1.p()
+        self._readcount += 1
+        if self._readcount == 1:
+            yield from self._w.p()
+        self._mutex1.v()
+        self._r.v()
+        self._mutex3.v()
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self._mutex1.p()
+        self._readcount -= 1
+        if self._readcount == 0:
+            self._w.v()
+        self._mutex1.v()
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._mutex2.p()
+        self._writecount += 1
+        if self._writecount == 1:
+            yield from self._r.p()
+        self._mutex2.v()
+        yield from self._w.p()
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        self._w.v()
+        yield from self._mutex2.p()
+        self._writecount -= 1
+        if self._writecount == 0:
+            self._r.v()
+        self._mutex2.v()
+
+
+READERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="readers_priority",
+    mechanism="semaphore",
+    components=(
+        Component("sem:mutex", "semaphore", "protects readcount"),
+        Component("sem:wrt", "semaphore", "held by writer or reader group"),
+        Component("var:readcount", "variable", "readcount := 0"),
+        Component(
+            "proto:reader", "procedure",
+            "P(mutex); rc+1; if rc=1 P(wrt); V(mutex); READ; "
+            "P(mutex); rc-1; if rc=0 V(wrt); V(mutex)",
+        ),
+        Component("proto:writer", "procedure", "P(wrt); WRITE; V(wrt)"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="rw_exclusion",
+            components=("sem:wrt", "var:readcount", "proto:reader", "proto:writer"),
+            constructs=("semaphore", "hand_count"),
+            directness=Directness.INDIRECT,
+            info_handling={
+                T1: Directness.INDIRECT,
+                T4: Directness.INDIRECT,
+            },
+            notes="sync state (readcount) hand-maintained under a second "
+            "semaphore; exclusion and priority entangled in the same code",
+        ),
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=("sem:wrt", "var:readcount", "proto:reader"),
+            constructs=("semaphore",),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+            notes="priority emerges from readers not releasing wrt, not "
+            "from any priority construct",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=False,
+        resource_separable=False,
+        enforced_by_mechanism=False,
+        notes="P/V code sits at every point of access; nothing associates "
+        "it with the resource (the pre-high-level baseline of section 1)",
+    ),
+)
+
+WRITERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="writers_priority",
+    mechanism="semaphore",
+    components=(
+        Component("sem:mutex1", "semaphore", "protects readcount"),
+        Component("sem:mutex2", "semaphore", "protects writecount"),
+        Component("sem:mutex3", "semaphore", "serializes reader entry"),
+        Component("sem:r", "semaphore", "writers bar new readers"),
+        Component("sem:w", "semaphore", "actual write exclusion"),
+        Component("var:readcount", "variable", "readcount := 0"),
+        Component("var:writecount", "variable", "writecount := 0"),
+        Component(
+            "proto:reader", "procedure",
+            "P(m3); P(r); P(m1); rc+1; if rc=1 P(w); V(m1); V(r); V(m3); "
+            "READ; P(m1); rc-1; if rc=0 V(w); V(m1)",
+        ),
+        Component(
+            "proto:writer", "procedure",
+            "P(m2); wc+1; if wc=1 P(r); V(m2); P(w); WRITE; V(w); "
+            "P(m2); wc-1; if wc=0 V(r); V(m2)",
+        ),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="rw_exclusion",
+            components=(
+                "sem:w", "sem:mutex1", "var:readcount",
+                "proto:reader", "proto:writer",
+            ),
+            constructs=("semaphore", "hand_count"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT, T4: Directness.INDIRECT},
+            notes="the exclusion core (w + readcount) is *re-implemented* "
+            "relative to problem 1 — five semaphores instead of two",
+        ),
+        ConstraintRealization(
+            constraint_id="writers_priority",
+            components=(
+                "sem:r", "sem:mutex2", "sem:mutex3", "var:writecount",
+                "proto:reader", "proto:writer",
+            ),
+            constructs=("semaphore", "hand_count"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+            notes="three extra semaphores and a second count purely for the "
+            "priority flip",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=False,
+        resource_separable=False,
+        enforced_by_mechanism=False,
+        notes="as problem 1; complexity scales with constraint coupling",
+    ),
+)

@@ -1,0 +1,283 @@
+"""Readers/writers with serializers (Atkinson–Hewitt, §5.2 of the paper).
+
+The solutions showcase the construct's selling points:
+
+* crowds hold the synchronization state — no hand-kept ``readercount``;
+* guarantees are declarative — no explicit signalling anywhere;
+* a single queue keeps request time while guarantees distinguish request
+  type, dissolving the monitor's T1 × T2 conflict (the FCFS variant here is
+  *shorter* than either priority variant);
+* priority flips are pure guarantee/queue-order edits — the exclusion parts
+  are untouched across all three variants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.serializer import Serializer
+from ...resources import Database
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class _SerializerRWBase(SolutionBase):
+    """Shared §2 structure: the serializer conceptually *contains* the
+    database; access only flows through join/leave crowd."""
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.db = Database()
+        self.ser = Serializer(sched, name + ".ser")
+        self.readers = self.ser.crowd("readers")
+        self.writers = self.ser.crowd("writers")
+
+    def _read_via(self, queue, guarantee, work: int) -> Generator:
+        yield from self.ser.enter()
+        yield from self.ser.enqueue(queue, guarantee)
+        yield from self.ser.join_crowd(self.readers)
+        self._start("read")
+        value = yield from self.db.read()
+        yield from self._work(work)
+        self._finish("read")
+        yield from self.ser.leave_crowd(self.readers)
+        self.ser.exit()
+        return value
+
+    def _write_via(self, queue, guarantee, value: Any, work: int) -> Generator:
+        yield from self.ser.enter()
+        yield from self.ser.enqueue(queue, guarantee)
+        yield from self.ser.join_crowd(self.writers)
+        self._start("write")
+        yield from self.db.write(value)
+        yield from self._work(work)
+        self._finish("write")
+        yield from self.ser.leave_crowd(self.writers)
+        self.ser.exit()
+
+
+class SerializerReadersPriority(_SerializerRWBase):
+    """Readers first: the reader queue is checked before the writer queue,
+    and writers additionally yield to *waiting* readers."""
+
+    problem = "readers_priority"
+    mechanism = "serializer"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.read_q = self.ser.queue("read_q")   # declared first: priority
+        self.write_q = self.ser.queue("write_q")
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        value = yield from self._read_via(
+            self.read_q, lambda: self.writers.empty, work
+        )
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._write_via(
+            self.write_q,
+            lambda: (
+                self.readers.empty
+                and self.writers.empty
+                and self.read_q.empty
+            ),
+            value,
+            work,
+        )
+
+
+class SerializerWritersPriority(_SerializerRWBase):
+    """Writers first: queue order and guarantees flipped — nothing else."""
+
+    problem = "writers_priority"
+    mechanism = "serializer"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.write_q = self.ser.queue("write_q")  # declared first: priority
+        self.read_q = self.ser.queue("read_q")
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        value = yield from self._read_via(
+            self.read_q,
+            lambda: self.writers.empty and self.write_q.empty,
+            work,
+        )
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._write_via(
+            self.write_q,
+            lambda: self.readers.empty and self.writers.empty,
+            value,
+            work,
+        )
+
+
+class SerializerRWFcfs(_SerializerRWBase):
+    """Arrival order: ONE queue for both types.
+
+    Request time is the queue position; request type is only the guarantee —
+    the separation of the two information types that §5.2 credits to
+    automatic signalling.
+    """
+
+    problem = "rw_fcfs"
+    mechanism = "serializer"
+
+    def __init__(self, sched: Scheduler, name: str = "db") -> None:
+        super().__init__(sched, name)
+        self.q = self.ser.queue("q")
+
+    def read(self, work: int = 1) -> Generator:
+        """Perform one read; returns the database value."""
+        self._request("read")
+        value = yield from self._read_via(
+            self.q, lambda: self.writers.empty, work
+        )
+        return value
+
+    def write(self, value: Any, work: int = 1) -> Generator:
+        """Perform one write."""
+        self._request("write")
+        yield from self._write_via(
+            self.q,
+            lambda: self.readers.empty and self.writers.empty,
+            value,
+            work,
+        )
+
+
+# ----------------------------------------------------------------------
+# Descriptions
+#
+# Components are split per constraint: the crowds and the *exclusion terms*
+# of the guarantees are identical in all three variants; only the queue
+# layout and the *defer terms* differ.  The §4.2 differ therefore sees the
+# exclusion constraint as stable across every probe — the serializer's
+# independence result.
+# ----------------------------------------------------------------------
+_SERIALIZER_EXCLUSION_COMPONENTS = (
+    Component("crowd:readers", "crowd", "readers currently accessing"),
+    Component("crowd:writers", "crowd", "writers currently accessing"),
+    Component("excl:read_guarantee", "guarantee", "writers.empty"),
+    Component("excl:write_guarantee", "guarantee",
+              "readers.empty and writers.empty"),
+)
+
+_SERIALIZER_EXCLUSION_NAMES = tuple(
+    c.name for c in _SERIALIZER_EXCLUSION_COMPONENTS
+)
+
+_SERIALIZER_RW_EXCLUSION_REALIZATION = ConstraintRealization(
+    constraint_id="rw_exclusion",
+    components=_SERIALIZER_EXCLUSION_NAMES,
+    constructs=("crowd", "guarantee", "automatic_signal"),
+    directness=Directness.DIRECT,
+    info_handling={T1: Directness.DIRECT, T4: Directness.DIRECT},
+    notes="crowds ARE the sync state; no hand counts (§5.2); identical in "
+    "every readers/writers variant",
+)
+
+SERIALIZER_READERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="readers_priority",
+    mechanism="serializer",
+    components=_SERIALIZER_EXCLUSION_COMPONENTS + (
+        Component("prio:queue_layout", "queue",
+                  "read_q declared before write_q"),
+        Component("prio:write_defer", "guarantee",
+                  "write additionally awaits read_q.empty"),
+    ),
+    realizations=(
+        _SERIALIZER_RW_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="readers_priority",
+            components=("prio:queue_layout", "prio:write_defer"),
+            constructs=("queue_order", "guarantee"),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+            notes="priority = queue declaration order + one guarantee term",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=True,
+        notes="the serializer contains the resource; join/leave crowd is the "
+        "only access path — structure enforced by the mechanism (§5.2)",
+    ),
+)
+
+SERIALIZER_WRITERS_PRIORITY_DESCRIPTION = SolutionDescription(
+    problem="writers_priority",
+    mechanism="serializer",
+    components=_SERIALIZER_EXCLUSION_COMPONENTS + (
+        Component("prio:queue_layout", "queue",
+                  "write_q declared before read_q"),
+        Component("prio:read_defer", "guarantee",
+                  "read additionally awaits write_q.empty"),
+    ),
+    realizations=(
+        _SERIALIZER_RW_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="writers_priority",
+            components=("prio:queue_layout", "prio:read_defer"),
+            constructs=("queue_order", "guarantee"),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=True,
+    ),
+)
+
+SERIALIZER_RW_FCFS_DESCRIPTION = SolutionDescription(
+    problem="rw_fcfs",
+    mechanism="serializer",
+    components=_SERIALIZER_EXCLUSION_COMPONENTS + (
+        Component("prio:queue_layout", "queue",
+                  "one queue shared by both request types"),
+    ),
+    realizations=(
+        _SERIALIZER_RW_EXCLUSION_REALIZATION,
+        ConstraintRealization(
+            constraint_id="arrival_order",
+            components=("prio:queue_layout",),
+            constructs=("queue_order", "automatic_signal"),
+            directness=Directness.DIRECT,
+            info_handling={T2: Directness.DIRECT, T1: Directness.DIRECT},
+            notes="one queue = arrival order; guarantees distinguish types "
+            "on the SAME queue — the monitor T1xT2 conflict does not arise "
+            "(§5.2)",
+        ),
+    ),
+    modularity=ModularityProfile(
+        synchronization_with_resource=True,
+        resource_separable=True,
+        enforced_by_mechanism=True,
+    ),
+)

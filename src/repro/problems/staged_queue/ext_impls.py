@@ -1,0 +1,216 @@
+"""Staged queue (class priority + FCFS within class) under the §6
+extension mechanisms (experiment E11).
+
+* CSP: one channel per class; class priority is select-arm order, FCFS
+  within class is the channel queue — three moving parts, all native.
+* CCR: class-A interest count + guard, the same interest-count pattern the
+  priority readers/writers variants need.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+)
+from ...mechanisms.ccr import SharedRegion
+from ...mechanisms.channels import Channel, ReceiveOp, select
+from ...runtime.scheduler import Scheduler
+from ..base import SolutionBase
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+class CspStagedQueue(SolutionBase):
+    """Two request channels; the class-A arm is checked first."""
+
+    problem = "staged_queue"
+    mechanism = "csp"
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        super().__init__(sched, name)
+        self.ch_a = Channel(sched, name + ".class_a")
+        self.ch_b = Channel(sched, name + ".class_b")
+        self.ch_done = Channel(sched, name + ".done")
+        sched.spawn(self._server, name=name + ".server", daemon=True)
+
+    def _server(self) -> Generator:
+        # Drain-then-decide: pull every request already offered on either
+        # channel into local FIFO lists, then grant by class priority.
+        # Deciding at rendezvous time instead would race against same-wave
+        # arrivals (a request can be accepted before a higher-class request
+        # from the same burst has even been offered).
+        pend_a: list = []
+        pend_b: list = []
+        busy = False
+        while True:
+            while self.ch_a.senders_waiting:
+                reply = yield from self.ch_a.receive()
+                pend_a.append(reply)
+            while self.ch_b.senders_waiting:
+                reply = yield from self.ch_b.receive()
+                pend_b.append(reply)
+            if not busy and (pend_a or pend_b):
+                reply = pend_a.pop(0) if pend_a else pend_b.pop(0)
+                busy = True
+                yield from reply.send(None)
+                continue
+            index, msg = yield from select(self._sched, [
+                ReceiveOp(self.ch_a),
+                ReceiveOp(self.ch_b),
+                ReceiveOp(self.ch_done, guard=busy),
+            ])
+            if index == 0:
+                pend_a.append(msg)
+            elif index == 1:
+                pend_b.append(msg)
+            else:
+                busy = False
+
+    def use_a(self, work: int = 1) -> Generator:
+        """One class-A use of the resource."""
+        yield from self._use("acquire_a", self.ch_a, work)
+
+    def use_b(self, work: int = 1) -> Generator:
+        """One class-B use of the resource."""
+        yield from self._use("acquire_b", self.ch_b, work)
+
+    def _use(self, op: str, channel: Channel, work: int) -> Generator:
+        self._request(op)
+        reply = Channel(self._sched, self.name + ".reply")
+        yield from channel.send(reply)
+        yield from reply.receive()
+        self._start(op)
+        yield from self._work(work)
+        self._finish(op)
+        yield from self.ch_done.send(None)
+
+
+class CcrStagedQueue(SolutionBase):
+    """Class-A interest count; class B defers to it in its guard."""
+
+    problem = "staged_queue"
+    mechanism = "ccr"
+
+    def __init__(self, sched: Scheduler, name: str = "res") -> None:
+        super().__init__(sched, name)
+        self.cell = SharedRegion(
+            sched, {"busy": False, "a_interest": 0}, name=name + ".v"
+        )
+
+    def use_a(self, work: int = 1) -> Generator:
+        """One class-A use of the resource."""
+        self._request("acquire_a")
+        cell = self.cell
+        yield from cell.enter()
+        cell.vars["a_interest"] += 1
+        cell.leave()
+        yield from cell.enter(lambda v: not v["busy"])
+        cell.vars["a_interest"] -= 1
+        cell.vars["busy"] = True
+        cell.leave()
+        self._start("acquire_a")
+        yield from self._work(work)
+        self._finish("acquire_a")
+        yield from cell.enter()
+        cell.vars["busy"] = False
+        cell.leave()
+
+    def use_b(self, work: int = 1) -> Generator:
+        """One class-B use of the resource."""
+        self._request("acquire_b")
+        cell = self.cell
+        yield from cell.enter(
+            lambda v: not v["busy"] and v["a_interest"] == 0
+        )
+        cell.vars["busy"] = True
+        cell.leave()
+        self._start("acquire_b")
+        yield from self._work(work)
+        self._finish("acquire_b")
+        yield from cell.enter()
+        cell.vars["busy"] = False
+        cell.leave()
+
+
+CSP_STAGED_DESCRIPTION = SolutionDescription(
+    problem="staged_queue",
+    mechanism="csp",
+    components=(
+        Component("chan:class_a", "queue", "first select arm"),
+        Component("chan:class_b", "queue"),
+        Component("chan:done", "queue"),
+        Component("proc:grant_loop", "procedure",
+                  "select(A first, then B); reply; await done"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("proc:grant_loop", "chan:done"),
+            constructs=("server_process",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.DIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="class_priority",
+            components=("chan:class_a", "chan:class_b", "proc:grant_loop"),
+            constructs=("arm_order",),
+            directness=Directness.DIRECT,
+            info_handling={T1: Directness.DIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="fcfs_within_class",
+            components=("chan:class_a", "chan:class_b"),
+            constructs=("channel_fifo",),
+            directness=Directness.DIRECT,
+            info_handling={T2: Directness.DIRECT},
+        ),
+    ),
+    modularity=ModularityProfile(True, False, True),
+)
+
+CCR_STAGED_DESCRIPTION = SolutionDescription(
+    problem="staged_queue",
+    mechanism="ccr",
+    components=(
+        Component("var:busy", "variable"),
+        Component("var:a_interest", "variable"),
+        Component("guard:use_a", "guard", "when not busy"),
+        Component("guard:use_b", "guard",
+                  "when not busy and a_interest = 0"),
+    ),
+    realizations=(
+        ConstraintRealization(
+            constraint_id="resource_mutex",
+            components=("var:busy", "guard:use_a", "guard:use_b"),
+            constructs=("region_guard",),
+            directness=Directness.DIRECT,
+            info_handling={T4: Directness.INDIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="class_priority",
+            components=("var:a_interest", "guard:use_b"),
+            constructs=("interest_count", "region_guard"),
+            directness=Directness.INDIRECT,
+            info_handling={T1: Directness.INDIRECT},
+        ),
+        ConstraintRealization(
+            constraint_id="fcfs_within_class",
+            components=("guard:use_a", "guard:use_b"),
+            constructs=("fifo_eligibility",),
+            directness=Directness.INDIRECT,
+            info_handling={T2: Directness.INDIRECT},
+            notes="depends on the region's FIFO-among-eligible wake rule, "
+            "an implementation property (like path selection FIFO)",
+        ),
+    ),
+    modularity=ModularityProfile(False, True, False),
+)

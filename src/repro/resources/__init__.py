@@ -1,0 +1,29 @@
+"""Unsynchronized resources and the §2 protected-resource structure (S7).
+
+Every resource operation is a generator with internal yield points, so a
+broken synchronization scheme produces an observable interleaving, which the
+resource converts into :class:`ResourceIntegrityError`.
+"""
+
+from .base import (
+    ProtectedResource,
+    ResourceIntegrityError,
+    Synchronizer,
+    check,
+)
+from .buffer import BoundedBuffer, SlotBuffer
+from .database import Database
+from .disk import Disk, fcfs_seek_distance, scan_order
+
+__all__ = [
+    "BoundedBuffer",
+    "Database",
+    "Disk",
+    "ProtectedResource",
+    "ResourceIntegrityError",
+    "SlotBuffer",
+    "Synchronizer",
+    "check",
+    "fcfs_seek_distance",
+    "scan_order",
+]

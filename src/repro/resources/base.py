@@ -1,0 +1,95 @@
+"""The shared-resource model of Section 2.
+
+The paper models a shared resource as an abstract data type and requires the
+*protected resource* structure::
+
+    protected resource
+        resource        -- the unsynchronized abstraction
+        synchronizer    -- the synchronization scheme
+
+Unsynchronized resources in this package are plain Python objects whose
+operations are generators with deliberate internal yield points: a failed
+synchronization scheme produces *observable* interleavings, which the
+resources turn into :class:`ResourceIntegrityError` — so "the exclusion
+constraint was violated" is a hard failure, not a silent corruption.
+
+:class:`ProtectedResource` is the generic §2 composition: it wraps each
+resource operation in ``synchronizer.before`` / ``synchronizer.after`` hooks
+and emits the uniform ``request`` / ``op_start`` / ``op_end`` trace events
+the oracles consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Tuple
+
+from ..runtime.errors import RuntimeBaseError
+from ..runtime.scheduler import Scheduler
+
+
+class ResourceIntegrityError(RuntimeBaseError):
+    """An unsynchronized resource was driven into an inconsistent state —
+    evidence that the synchronization scheme around it is broken."""
+
+
+class Synchronizer:
+    """Hook interface for :class:`ProtectedResource`.
+
+    ``before``/``after`` are generator functions so they can block; the
+    default implementations do nothing (an unprotected resource).
+    """
+
+    def before(self, op: str, args: Tuple[Any, ...]) -> Generator:
+        """Runs before the resource operation; may block."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def after(self, op: str, args: Tuple[Any, ...]) -> Generator:
+        """Runs after the resource operation; may block."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def describe(self) -> str:
+        """Label used in traces and reports."""
+        return type(self).__name__
+
+
+class ProtectedResource:
+    """The §2 structure: ``protected resource = resource + synchronizer``.
+
+    Args:
+        sched: owning scheduler.
+        resource: the unsynchronized resource object; operation ``op`` is
+            the generator method ``resource.op``.
+        synchronizer: the synchronization scheme.
+        name: trace prefix for operations (events are ``<name>.<op>``).
+    """
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        resource: Any,
+        synchronizer: Synchronizer,
+        name: str = "shared",
+    ) -> None:
+        self._sched = sched
+        self.resource = resource
+        self.synchronizer = synchronizer
+        self.name = name
+
+    def invoke(self, op: str, *args: Any) -> Generator:
+        """Run one synchronized resource operation; returns its value."""
+        method = getattr(self.resource, op)
+        self._sched.log("request", "{}.{}".format(self.name, op), args or None)
+        yield from self.synchronizer.before(op, args)
+        self._sched.log("op_start", "{}.{}".format(self.name, op))
+        result = yield from method(*args)
+        self._sched.log("op_end", "{}.{}".format(self.name, op))
+        yield from self.synchronizer.after(op, args)
+        return result
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`ResourceIntegrityError` unless ``condition`` holds."""
+    if not condition:
+        raise ResourceIntegrityError(message)

@@ -1,0 +1,134 @@
+"""Buffer resources: the bounded buffer (T5) and the one-slot buffer (T6).
+
+Both detect synchronization failures at the resource level: overflow,
+underflow, overlapping operations, and (for the one-slot buffer) broken
+put/get alternation all raise :class:`ResourceIntegrityError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .base import check
+
+
+class BoundedBuffer:
+    """An unsynchronized FIFO buffer of fixed capacity.
+
+    Operations are generators with an internal yield point, so an unprotected
+    concurrent put/put or put/get interleaving is observable.  The surrounding
+    synchronization scheme must guarantee:
+
+    * no ``put`` when full, no ``get`` when empty (constraint
+      ``buffer_bounds``, local state T5);
+    * operations do not overlap (constraint ``buffer_mutex``).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._in_operation: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when at capacity (the T5 condition for excluding put)."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when no items (the T5 condition for excluding get)."""
+        return not self._items
+
+    def peek(self) -> Any:
+        """The item :meth:`get` would return, without removing it (used by
+        CSP servers whose send-arm value must be known before the select)."""
+        check(not self.empty, "peek into empty buffer")
+        return self._items[0]
+
+    # ------------------------------------------------------------------
+    def _begin(self, op: str) -> None:
+        check(
+            self._in_operation is None,
+            "buffer operation {} overlaps {}".format(op, self._in_operation),
+        )
+        self._in_operation = op
+
+    def _finish(self) -> None:
+        self._in_operation = None
+
+    def put(self, item: Any) -> Generator:
+        """Append an item; integrity failure if full or overlapping."""
+        self._begin("put")
+        check(not self.full, "put into full buffer")
+        yield
+        self._items.append(item)
+        self._finish()
+
+    def get(self) -> Generator:
+        """Remove and return the oldest item; integrity failure if empty or
+        overlapping."""
+        self._begin("get")
+        check(not self.empty, "get from empty buffer")
+        yield
+        item = self._items.pop(0)
+        self._finish()
+        return item
+
+
+class SlotBuffer:
+    """The one-slot buffer of Campbell–Habermann [7]: a single cell whose
+    put and get must strictly alternate, starting with put.
+
+    The alternation requirement is *history* information (T6): whether the
+    last completed operation was a put or a get.
+    """
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._occupied = False
+        self._in_operation: Optional[str] = None
+
+    @property
+    def occupied(self) -> bool:
+        """True while the slot holds an unconsumed value."""
+        return self._occupied
+
+    def peek(self) -> Any:
+        """The value :meth:`get` would return, without consuming it."""
+        check(self._occupied, "peek into vacant slot")
+        return self._value
+
+    def _begin(self, op: str) -> None:
+        check(
+            self._in_operation is None,
+            "slot operation {} overlaps {}".format(op, self._in_operation),
+        )
+        self._in_operation = op
+
+    def put(self, item: Any) -> Generator:
+        """Fill the slot; integrity failure if already occupied."""
+        self._begin("put")
+        check(not self._occupied, "put into occupied slot (missed get)")
+        yield
+        self._value = item
+        self._occupied = True
+        self._in_operation = None
+
+    def get(self) -> Generator:
+        """Empty the slot; integrity failure if vacant."""
+        self._begin("get")
+        check(self._occupied, "get from vacant slot (missed put)")
+        yield
+        item = self._value
+        self._value = None
+        self._occupied = False
+        self._in_operation = None
+        return item

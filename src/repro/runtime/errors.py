@@ -1,0 +1,56 @@
+"""Exception hierarchy for the deterministic concurrency runtime.
+
+Every error raised by :mod:`repro.runtime` derives from :class:`RuntimeBaseError`
+so callers can catch runtime failures without masking ordinary Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeBaseError(Exception):
+    """Base class for all runtime errors."""
+
+
+class DeadlockError(RuntimeBaseError):
+    """Raised when no process is runnable, no timer is pending, and at least
+    one process is still blocked.
+
+    The blocked processes and what each is blocked on are carried so
+    experiment E7 (nested monitor calls) can report the deadlock cycle.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        detail = ", ".join(
+            "{} on {}".format(p.name, p.blocked_on) for p in self.blocked
+        )
+        super().__init__("deadlock: {}".format(detail))
+
+
+class StepLimitExceeded(RuntimeBaseError):
+    """Raised when a run exceeds its step budget (livelock guard)."""
+
+
+class ProcessFailed(RuntimeBaseError):
+    """Raised by :meth:`Scheduler.run` when a process body raised an exception.
+
+    The original exception is available as ``__cause__`` and via
+    :attr:`process`.
+    """
+
+    def __init__(self, process, cause):
+        self.process = process
+        super().__init__(
+            "process {!r} failed: {!r}".format(process.name, cause)
+        )
+
+
+class SchedulerStateError(RuntimeBaseError):
+    """Raised on misuse of the scheduler API (e.g. blocking a process that is
+    not the current one, or spawning after the run completed)."""
+
+
+class IllegalOperationError(RuntimeBaseError):
+    """Raised by synchronization mechanisms on protocol violations, such as
+    releasing a mutex the caller does not hold or signalling outside a
+    monitor."""

@@ -1,0 +1,208 @@
+"""Low-level synchronization primitives (substrate S2).
+
+These are the Dijkstra-era building blocks every higher mechanism in the
+library is compiled down to: counting semaphores with an explicit wait queue,
+a mutex with holder tracking, and a broadcast event.
+
+Two properties matter for the reproduction:
+
+* **FIFO wakeup.**  The paper's analysis of path expressions assumes "the
+  selection operator always chooses the process that has been waiting
+  longest" (§5.1).  Our semaphores grant permits in strict arrival order by
+  default, which realizes that assumption.  Experiment E9 ablates it via the
+  ``wake_policy`` knob (``"fifo"``, ``"lifo"``, ``"random"``).
+* **Direct handoff.**  ``V`` on a semaphore with waiters transfers the permit
+  straight to the woken process instead of incrementing the counter, so a
+  late-arriving process can never barge past a queued one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from .errors import IllegalOperationError
+from .process import SimProcess
+from .scheduler import Scheduler
+
+
+class Semaphore:
+    """A counting semaphore with configurable wake order.
+
+    Args:
+        sched: owning scheduler.
+        initial: initial permit count (>= 0).
+        name: trace label.
+        wake_policy: ``"fifo"`` (default, longest-waiting first), ``"lifo"``,
+            or ``"random"`` (seeded by ``seed``).
+    """
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        initial: int = 0,
+        name: str = "sem",
+        wake_policy: str = "fifo",
+        seed: int = 0,
+    ) -> None:
+        if initial < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        if wake_policy not in ("fifo", "lifo", "random"):
+            raise ValueError("unknown wake policy {!r}".format(wake_policy))
+        self._sched = sched
+        self._value = initial
+        self.name = name
+        self._wake_policy = wake_policy
+        self._rng = random.Random(seed)
+        self._waiters: List[SimProcess] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Current permit count (0 while processes wait)."""
+        return self._value
+
+    @property
+    def waiters(self) -> int:
+        """Number of processes blocked in :meth:`p`."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    def p(self) -> Generator:
+        """Dijkstra's P (wait/acquire).  ``yield from sem.p()``."""
+        yield from self._sched.checkpoint()
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            self._sched.log("sem_p", self.name, self._value)
+            return
+        proc = self._sched.current
+        self._waiters.append(proc)
+        yield from self._sched.park("P({})".format(self.name), self.name)
+        # Permit was handed to us directly by V; nothing to decrement.
+        self._sched.log("sem_p", self.name, "handoff")
+
+    # Alias matching the threading module vocabulary.
+    acquire = p
+
+    def v(self) -> None:
+        """Dijkstra's V (signal/release).  Non-blocking."""
+        if self._waiters:
+            proc = self._pick_waiter()
+            self._sched.log("sem_v", self.name, "wake:{}".format(proc.name))
+            self._sched.unpark(proc)
+        else:
+            self._value += 1
+            self._sched.log("sem_v", self.name, self._value)
+
+    release = v
+
+    def try_p(self) -> bool:
+        """Non-blocking P: take a permit if immediately available."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            self._sched.log("sem_p", self.name, self._value)
+            return True
+        return False
+
+    def _pick_waiter(self) -> SimProcess:
+        if self._wake_policy == "fifo":
+            return self._waiters.pop(0)
+        if self._wake_policy == "lifo":
+            return self._waiters.pop()
+        return self._waiters.pop(self._rng.randrange(len(self._waiters)))
+
+
+class Mutex:
+    """A non-reentrant binary lock with holder tracking.
+
+    Unlike a plain ``Semaphore(initial=1)``, a mutex knows its holder and
+    refuses release by anyone else — protocol violations surface as
+    :class:`IllegalOperationError` instead of silent corruption.
+    """
+
+    def __init__(self, sched: Scheduler, name: str = "mutex") -> None:
+        self._sched = sched
+        self.name = name
+        self._holder: Optional[SimProcess] = None
+        self._waiters: List[SimProcess] = []
+
+    @property
+    def held(self) -> bool:
+        """True while some process holds the lock."""
+        return self._holder is not None
+
+    @property
+    def holder_name(self) -> Optional[str]:
+        """Name of the holding process, or ``None``."""
+        return self._holder.name if self._holder else None
+
+    def acquire(self) -> Generator:
+        """Block until the lock is free, then take it."""
+        yield from self._sched.checkpoint()
+        me = self._sched.current
+        if self._holder is me:
+            raise IllegalOperationError(
+                "{} attempted reentrant acquire of {}".format(me.name, self.name)
+            )
+        if self._holder is None and not self._waiters:
+            self._holder = me
+            self._sched.log("acquire", self.name)
+            return
+        self._waiters.append(me)
+        yield from self._sched.park("lock({})".format(self.name), self.name)
+        # Ownership was handed to us by release().
+        self._sched.log("acquire", self.name, "handoff")
+
+    def release(self) -> None:
+        """Release the lock; hands it directly to the longest waiter."""
+        me = self._sched.current
+        if self._holder is not me:
+            raise IllegalOperationError(
+                "{} released {} held by {}".format(
+                    me.name if me else "<sched>", self.name, self.holder_name
+                )
+            )
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            self._holder = nxt
+            self._sched.log("release", self.name, "handoff:{}".format(nxt.name))
+            self._sched.unpark(nxt)
+        else:
+            self._holder = None
+            self._sched.log("release", self.name)
+
+
+class BroadcastEvent:
+    """A one-shot gate: processes wait until some process sets it.
+
+    Once set, the event stays set and :meth:`wait` returns immediately.
+    """
+
+    def __init__(self, sched: Scheduler, name: str = "event") -> None:
+        self._sched = sched
+        self.name = name
+        self._set = False
+        self._waiters: List[SimProcess] = []
+
+    @property
+    def is_set(self) -> bool:
+        """True once :meth:`set` has been called."""
+        return self._set
+
+    def wait(self) -> Generator:
+        """Block until the event is set (immediate if already set)."""
+        yield from self._sched.checkpoint()
+        if self._set:
+            return
+        self._waiters.append(self._sched.current)
+        yield from self._sched.park("event({})".format(self.name), self.name)
+
+    def set(self) -> None:
+        """Set the event, waking every waiter in FIFO order."""
+        if self._set:
+            return
+        self._set = True
+        self._sched.log("event_set", self.name, len(self._waiters))
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sched.unpark(proc)

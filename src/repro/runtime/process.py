@@ -1,0 +1,127 @@
+"""Simulated processes.
+
+A *process* is a Python generator: every ``yield`` is a potential context
+switch, and blocking primitives are generator functions that the process body
+delegates to with ``yield from``.  This gives the scheduler complete control
+over interleaving, which is what makes the reproduction's schedule scripting
+and bounded model checking possible (DESIGN.md §6).
+
+Typical process body::
+
+    def reader(db, results):
+        yield from db.start_read()
+        results.append(db.resource.read())
+        yield from db.end_read()
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a :class:`SimProcess`."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class SimProcess:
+    """A schedulable unit of execution.
+
+    Instances are created by :meth:`Scheduler.spawn`; user code never
+    constructs them directly.
+
+    Attributes:
+        pid: small integer id, unique within a scheduler.
+        name: human-readable name used in traces and error messages.
+        state: current :class:`ProcessState`.
+        blocked_on: short description of what the process is parked on
+            (``None`` while runnable).
+        result: value returned by the generator body once ``DONE``.
+        exception: exception raised by the body once ``FAILED``.
+        arrival: sequence number of the spawn event — the canonical
+            "request time" (information type T2) for FCFS analyses.
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "state",
+        "blocked_on",
+        "result",
+        "exception",
+        "arrival",
+        "daemon",
+        "_generator",
+        "_wake_value",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        generator: Generator,
+        daemon: bool = False,
+    ) -> None:
+        self.pid = pid
+        self.name = name
+        self.state = ProcessState.NEW
+        self.blocked_on: Optional[str] = None
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.arrival: int = -1
+        #: Daemon processes (e.g. forever-looping servers) do not keep the
+        #: run alive: the scheduler stops once every non-daemon finishes.
+        self.daemon = daemon
+        self._generator = generator
+        self._wake_value: Any = None
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the body has not finished or failed."""
+        return self.state not in (ProcessState.DONE, ProcessState.FAILED)
+
+    @property
+    def runnable(self) -> bool:
+        """True when the scheduler may pick this process next."""
+        return self.state in (ProcessState.NEW, ProcessState.READY)
+
+    def step(self) -> bool:
+        """Advance the body to its next yield point.
+
+        Returns ``True`` when the body yielded (still alive) and ``False``
+        when it returned.  Raises whatever the body raised.
+        """
+        wake = self._wake_value
+        self._wake_value = None
+        try:
+            if self.state is ProcessState.NEW:
+                next(self._generator)
+            else:
+                self._generator.send(wake)
+        except StopIteration as stop:
+            self.state = ProcessState.DONE
+            self.result = stop.value
+            return False
+        return True
+
+    def set_wake_value(self, value: Any) -> None:
+        """Value delivered to the body at its next resumption (sent through
+        the suspended ``yield``)."""
+        self._wake_value = value
+
+    def kill(self, exc: BaseException) -> None:
+        """Mark the process failed with ``exc`` and close its generator."""
+        self.state = ProcessState.FAILED
+        self.exception = exc
+        self._generator.close()
+
+    def __repr__(self) -> str:
+        return "<SimProcess {} #{} {}>".format(self.name, self.pid, self.state.value)

@@ -1,0 +1,321 @@
+"""The deterministic cooperative scheduler.
+
+This is substrate S1 from DESIGN.md: a discrete-event, generator-based
+run-to-yield scheduler.  Every blocking construct in the library (semaphores,
+monitors, serializers, path expressions) is built on exactly two scheduler
+services: :meth:`Scheduler.park` (suspend the current process) and
+:meth:`Scheduler.unpark` (make a suspended process runnable again).  All
+nondeterminism funnels through the :class:`~repro.runtime.policies.SchedulingPolicy`,
+so runs are replayable and the schedule space is enumerable.
+
+Virtual time is discrete-event style: the clock only advances when nothing is
+runnable, jumping to the earliest pending timer.  The global event sequence
+number (``seq``) provides the total order used for "request time"
+(information type T2) reasoning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from .errors import (
+    DeadlockError,
+    ProcessFailed,
+    SchedulerStateError,
+    StepLimitExceeded,
+)
+from .policies import FIFOPolicy, SchedulingPolicy
+from .process import ProcessState, SimProcess
+from .trace import Event, RunResult, Trace
+
+
+class Scheduler:
+    """Owns the ready queue, virtual clock, timers, and trace.
+
+    Args:
+        policy: scheduling policy; defaults to deterministic FIFO.
+        max_steps: hard step budget; exceeding it raises
+            :class:`StepLimitExceeded` (livelock guard).
+        preemptive: when ``True``, primitives insert extra context-switch
+            points via :meth:`checkpoint`, widening the schedule space the
+            explorer can reach.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SchedulingPolicy] = None,
+        max_steps: int = 500_000,
+        preemptive: bool = False,
+    ) -> None:
+        self.policy = policy or FIFOPolicy()
+        self.policy.reset()
+        self.max_steps = max_steps
+        self.preemptive = preemptive
+        self.trace = Trace()
+        self._ready: List[SimProcess] = []
+        self._processes: List[SimProcess] = []
+        self._timers: list = []  # heap of (deadline, seq, process)
+        self._time = 0
+        self._seq = 0
+        self._current: Optional[SimProcess] = None
+        self._running = False
+        self._finished = False
+        self._live_nondaemons = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual-clock reading."""
+        return self._time
+
+    @property
+    def seq(self) -> int:
+        """Next global sequence number (monotone event counter)."""
+        return self._seq
+
+    @property
+    def current(self) -> Optional[SimProcess]:
+        """The process executing right now (``None`` between steps)."""
+        return self._current
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        """All processes ever spawned, in spawn order."""
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        body: Callable[..., Generator],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> SimProcess:
+        """Create a process from a generator function and make it runnable.
+
+        ``body(*args)`` must return a generator.  Processes may spawn other
+        processes while running.  ``daemon`` processes (forever-looping
+        servers) do not keep the run alive: :meth:`run` returns once every
+        non-daemon process has finished.
+        """
+        if self._finished:
+            raise SchedulerStateError("cannot spawn after the run completed")
+        generator = body(*args)
+        if not hasattr(generator, "send"):
+            raise SchedulerStateError(
+                "process body {!r} is not a generator function".format(body)
+            )
+        pid = len(self._processes)
+        proc = SimProcess(pid, name or "P{}".format(pid), generator, daemon)
+        self._processes.append(proc)
+        proc.state = ProcessState.READY
+        proc.arrival = self._seq
+        if not daemon:
+            self._live_nondaemons += 1
+        self._ready.append(proc)
+        self.log("spawn", proc.name, proc=proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Blocking services (used by primitives, via ``yield from``)
+    # ------------------------------------------------------------------
+    def park(self, reason: str, obj: str = "") -> Generator:
+        """Suspend the current process until :meth:`unpark`.
+
+        Must be delegated to with ``yield from``.  Returns the value passed
+        to :meth:`unpark` (used e.g. to hand a monitor's possession token to
+        a signalled process).
+        """
+        proc = self._current
+        if proc is None:
+            raise SchedulerStateError("park called outside a running process")
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = reason
+        self.log("blocked", obj or reason)
+        value = yield
+        return value
+
+    def unpark(self, proc: SimProcess, value: Any = None) -> None:
+        """Make a parked process runnable, delivering ``value`` to it."""
+        if proc.state is not ProcessState.BLOCKED:
+            raise SchedulerStateError(
+                "unpark of non-blocked process {!r}".format(proc.name)
+            )
+        proc.state = ProcessState.READY
+        proc.blocked_on = None
+        proc.set_wake_value(value)
+        self._ready.append(proc)
+        self.log("unblocked", proc.name)
+
+    def checkpoint(self) -> Generator:
+        """An optional context-switch point (no-op unless ``preemptive``)."""
+        if self.preemptive:
+            yield
+
+    def sleep(self, ticks: int) -> Generator:
+        """Suspend the current process for ``ticks`` units of virtual time."""
+        if ticks <= 0:
+            yield from self.checkpoint()
+            return
+        proc = self._current
+        if proc is None:
+            raise SchedulerStateError("sleep called outside a running process")
+        deadline = self._time + ticks
+        heapq.heappush(self._timers, (deadline, self._next_seq(), proc))
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = "sleep({})".format(ticks)
+        self.log("blocked", "sleep", ticks)
+        yield
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def log(
+        self,
+        kind: str,
+        obj: str = "",
+        detail: Any = None,
+        proc: Optional[SimProcess] = None,
+    ) -> Event:
+        """Append an event to the trace, attributed to ``proc`` (default:
+        the current process)."""
+        actor = proc if proc is not None else self._current
+        pid = actor.pid if actor is not None else -1
+        pname = actor.name if actor is not None else "<sched>"
+        event = Event(self._next_seq(), self._time, pid, pname, kind, obj, detail)
+        self.trace.append(event)
+        return event
+
+    def _next_seq(self) -> int:
+        value = self._seq
+        self._seq += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        on_deadlock: str = "raise",
+        on_error: str = "raise",
+    ) -> RunResult:
+        """Execute until every process finishes (or deadlock / step limit).
+
+        Args:
+            on_deadlock: ``"raise"`` (default) raises :class:`DeadlockError`;
+                ``"return"`` ends the run with ``RunResult.deadlocked=True``
+                (used by experiment E7, which *wants* the deadlock).
+            on_error: ``"raise"`` wraps a failing process body in
+                :class:`ProcessFailed`; ``"record"`` marks the process FAILED
+                and keeps going.
+
+        Returns:
+            A :class:`RunResult` with the trace and per-process results.
+        """
+        if self._running:
+            raise SchedulerStateError("run() is not reentrant")
+        self._running = True
+        steps = 0
+        deadlocked = False
+        try:
+            while True:
+                if steps >= self.max_steps:
+                    raise StepLimitExceeded(
+                        "exceeded {} scheduling steps".format(self.max_steps)
+                    )
+                if self._live_nondaemons == 0:
+                    break  # only daemons remain; the run is over
+                if not self._ready:
+                    if self._timers:
+                        self._advance_clock()
+                        continue
+                    blocked = [
+                        p for p in self._processes
+                        if p.state is ProcessState.BLOCKED
+                    ]
+                    if blocked:
+                        if on_deadlock == "return":
+                            deadlocked = True
+                            break
+                        raise DeadlockError(blocked)
+                    break  # everything finished
+                index = self.policy.choose(self._ready)
+                proc = self._ready.pop(index)
+                proc.state = ProcessState.RUNNING
+                self._current = proc
+                try:
+                    alive = proc.step()
+                except Exception as exc:  # noqa: BLE001 - process body failure
+                    proc.kill(exc)
+                    self.log("failed", proc.name, repr(exc), proc=proc)
+                    if not proc.daemon:
+                        self._live_nondaemons -= 1
+                    if on_error == "raise":
+                        raise ProcessFailed(proc, exc) from exc
+                    alive = False
+                finally:
+                    self._current = None
+                if alive and proc.state is ProcessState.RUNNING:
+                    proc.state = ProcessState.READY
+                    self._ready.append(proc)
+                elif not alive and proc.state is ProcessState.DONE:
+                    if not proc.daemon:
+                        self._live_nondaemons -= 1
+                    self.log("exit", proc.name, proc=proc)
+                steps += 1
+        finally:
+            self._running = False
+            self._finished = True
+        results = {
+            p.name: p.result
+            for p in self._processes
+            if p.state is ProcessState.DONE
+        }
+        blocked_names = [
+            p.name
+            for p in self._processes
+            if p.state is ProcessState.BLOCKED and not p.daemon
+        ]
+        return RunResult(
+            trace=self.trace,
+            deadlocked=deadlocked,
+            blocked=blocked_names,
+            steps=steps,
+            time=self._time,
+            results=results,
+        )
+
+    def _advance_clock(self) -> None:
+        """Jump virtual time to the earliest timer and wake everything due."""
+        deadline = self._timers[0][0]
+        self._time = deadline
+        while self._timers and self._timers[0][0] == deadline:
+            __, __, proc = heapq.heappop(self._timers)
+            proc.state = ProcessState.READY
+            proc.blocked_on = None
+            self._ready.append(proc)
+            self.log("unblocked", proc.name, "timer", proc=proc)
+
+
+def run_processes(
+    *bodies,
+    policy: Optional[SchedulingPolicy] = None,
+    names: Optional[List[str]] = None,
+    on_deadlock: str = "raise",
+    max_steps: int = 500_000,
+) -> RunResult:
+    """Convenience wrapper: spawn each generator-returning thunk and run.
+
+    Each element of ``bodies`` must be a zero-argument callable returning a
+    generator (use closures or ``functools.partial`` to bind arguments).
+    """
+    sched = Scheduler(policy=policy, max_steps=max_steps)
+    for i, body in enumerate(bodies):
+        name = names[i] if names else None
+        sched.spawn(body, name=name)
+    return sched.run(on_deadlock=on_deadlock)

@@ -1,0 +1,200 @@
+"""Execution traces.
+
+Every observable action taken by a process — acquiring a semaphore, entering a
+monitor, starting a resource operation — is recorded as an :class:`Event` in a
+:class:`Trace`.  Traces are the ground truth that the correctness oracles in
+:mod:`repro.verify` consume: properties such as mutual exclusion, reader
+priority, or FCFS ordering are all predicates over traces.
+
+Event kinds are free-form strings; the conventional vocabulary used throughout
+the library is:
+
+========================  =====================================================
+kind                      meaning
+========================  =====================================================
+``spawn`` / ``exit``      process lifecycle
+``request``               a process asked to run a resource operation
+``op_start``/``op_end``   a resource operation began / completed executing
+``acquire``/``release``   low-level lock or semaphore transfer
+``blocked``/``unblocked`` a process parked / was resumed
+``enter``/``leave``       monitor or serializer possession transfer
+``wait``/``signal``       condition-variable traffic
+``custom``                anything problem-specific (payload in ``detail``)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observable step in an execution.
+
+    Attributes:
+        seq: global sequence number; totally orders all events in a run.
+        time: virtual-clock reading when the event occurred.
+        pid: id of the acting process (-1 for scheduler-originated events).
+        pname: human-readable process name.
+        kind: event vocabulary word (see module docstring).
+        obj: name of the object acted upon (lock, monitor, operation, ...).
+        detail: free-form payload (parameters, queue lengths, ...).
+    """
+
+    seq: int
+    time: int
+    pid: int
+    pname: str
+    kind: str
+    obj: str = ""
+    detail: Any = None
+
+    def __str__(self) -> str:
+        base = "[{:>4} t={:>4}] {:<14} {:<10} {}".format(
+            self.seq, self.time, self.pname, self.kind, self.obj
+        )
+        if self.detail is not None:
+            base += " {!r}".format(self.detail)
+        return base
+
+
+class Trace:
+    """An append-only sequence of :class:`Event` objects with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        """Record one event (used by the scheduler; user code should go
+        through :meth:`Scheduler.log`)."""
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        obj: Optional[str] = None,
+        pname: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Return events matching every given criterion.
+
+        ``kind`` may be a single vocabulary word or a ``|``-separated
+        alternation, e.g. ``"op_start|op_end"``.
+        """
+        kinds = set(kind.split("|")) if kind is not None else None
+        out = []
+        for ev in self._events:
+            if kinds is not None and ev.kind not in kinds:
+                continue
+            if obj is not None and ev.obj != obj:
+                continue
+            if pname is not None and ev.pname != pname:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def kinds(self) -> List[str]:
+        """The distinct event kinds present, in first-occurrence order."""
+        seen = []
+        for ev in self._events:
+            if ev.kind not in seen:
+                seen.append(ev.kind)
+        return seen
+
+    def first(self, **criteria) -> Optional[Event]:
+        """First event matching :meth:`filter` criteria, or ``None``."""
+        matches = self.filter(**criteria)
+        return matches[0] if matches else None
+
+    def last(self, **criteria) -> Optional[Event]:
+        """Last event matching :meth:`filter` criteria, or ``None``."""
+        matches = self.filter(**criteria)
+        return matches[-1] if matches else None
+
+    def projection(self, *kinds: str) -> List[Event]:
+        """Events whose kind is one of ``kinds``, preserving order."""
+        wanted = set(kinds)
+        return [ev for ev in self._events if ev.kind in wanted]
+
+    def per_process(self) -> "dict[str, List[Event]]":
+        """Group events by process name, preserving per-process order."""
+        grouped: dict = {}
+        for ev in self._events:
+            grouped.setdefault(ev.pname, []).append(ev)
+        return grouped
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """A human-readable dump of the trace (optionally truncated)."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [str(ev) for ev in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append("... ({} more events)".format(len(self._events) - limit))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """The trace as plain dictionaries (for external analysis)."""
+        return [
+            {
+                "seq": ev.seq,
+                "time": ev.time,
+                "pid": ev.pid,
+                "pname": ev.pname,
+                "kind": ev.kind,
+                "obj": ev.obj,
+                "detail": ev.detail,
+            }
+            for ev in self._events
+        ]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON export; non-serializable details are stringified."""
+        import json
+
+        return json.dumps(self.to_dicts(), indent=indent, default=repr)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Scheduler.run`.
+
+    Attributes:
+        trace: the complete event trace.
+        deadlocked: ``True`` when the run ended with blocked processes and
+            nothing runnable (only when ``on_deadlock='return'``).
+        blocked: names of processes still blocked at the end of the run.
+        steps: number of scheduling steps executed.
+        time: final virtual-clock value.
+        results: mapping of process name to the value its body returned.
+    """
+
+    trace: Trace
+    deadlocked: bool = False
+    blocked: List[str] = field(default_factory=list)
+    steps: int = 0
+    time: int = 0
+    results: dict = field(default_factory=dict)

@@ -1,0 +1,46 @@
+"""Verification layer (S9): trace oracles and the schedule explorer."""
+
+from .explorer import ExplorationResult, ScheduleExplorer
+from .liveness import (
+    Wait,
+    WaitSummary,
+    check_bounded_waiting,
+    class_wait_summary,
+    starvation_report,
+    unserved_requests,
+    waiting_times,
+)
+from .oracles import (
+    check_alarm_wakeups,
+    check_alternation,
+    check_class_priority_two_stage,
+    check_fcfs,
+    check_mutual_exclusion,
+    check_no_overtake,
+    check_readers_priority_strict,
+    check_scan_order,
+    check_single_occupancy,
+    check_writers_priority_strict,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "Wait",
+    "WaitSummary",
+    "check_bounded_waiting",
+    "class_wait_summary",
+    "starvation_report",
+    "unserved_requests",
+    "waiting_times",
+    "ScheduleExplorer",
+    "check_alarm_wakeups",
+    "check_alternation",
+    "check_class_priority_two_stage",
+    "check_fcfs",
+    "check_mutual_exclusion",
+    "check_no_overtake",
+    "check_readers_priority_strict",
+    "check_scan_order",
+    "check_single_occupancy",
+    "check_writers_priority_strict",
+]

@@ -1,0 +1,250 @@
+"""Unit + integration tests for the analysis layer: diffing, modification
+reports, independence probes, conflict detection, and size metrics — ending
+with the paper's §5 verdicts reproduced from the real registry."""
+
+import pytest
+
+from repro.analysis import (
+    detect_info_conflicts,
+    diff_components,
+    measure,
+    measure_all,
+    modification_report,
+    per_mechanism_totals,
+    render_independence,
+    render_sizes,
+    render_totals,
+    run_probes,
+    summarize_independence,
+)
+from repro.core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    ModularityProfile,
+    SolutionDescription,
+)
+from repro.problems.registry import all_solutions
+
+
+def make(problem, mechanism, components, realizations):
+    return SolutionDescription(
+        problem=problem,
+        mechanism=mechanism,
+        components=tuple(components),
+        realizations=tuple(realizations),
+        modularity=ModularityProfile(True, True, True),
+    )
+
+
+# ----------------------------------------------------------------------
+# diff_components
+# ----------------------------------------------------------------------
+def test_diff_identical():
+    comps = [Component("a", "path", "x"), Component("b", "condition", "y")]
+    diff = diff_components(comps, comps)
+    assert diff.touched == 0
+    assert diff.change_fraction == 0.0
+    assert diff.unchanged == ("a", "b")
+
+
+def test_diff_added_removed_changed():
+    source = [Component("a", "path", "1"), Component("b", "path", "2")]
+    target = [Component("b", "path", "CHANGED"), Component("c", "path", "3")]
+    diff = diff_components(source, target)
+    assert diff.added == ("c",)
+    assert diff.removed == ("a",)
+    assert diff.changed == ("b",)
+    assert diff.touched == 3
+    assert diff.total == 3
+    assert diff.change_fraction == 1.0
+
+
+def test_diff_kind_change_counts_as_changed():
+    source = [Component("a", "condition", "")]
+    target = [Component("a", "queue", "")]
+    assert diff_components(source, target).changed == ("a",)
+
+
+def test_diff_empty_inputs():
+    diff = diff_components([], [])
+    assert diff.change_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# modification_report
+# ----------------------------------------------------------------------
+def _realization(cid, comps):
+    return ConstraintRealization(cid, tuple(comps), (), Directness.DIRECT)
+
+
+def test_modification_report_stable_shared_constraint():
+    shared = Component("core", "procedure", "same text")
+    a = make("p1", "m", [shared, Component("prio", "procedure", "A")],
+             [_realization("shared_c", ["core"]),
+              _realization("pa", ["prio"])])
+    b = make("p2", "m", [shared, Component("prio", "procedure", "B")],
+             [_realization("shared_c", ["core"]),
+              _realization("pb", ["prio"])])
+    report = modification_report(a, b, ["shared_c"])
+    assert report.shared_constraints_stable
+    assert report.stable_shared == ("shared_c",)
+    assert report.diff.changed == ("prio",)
+
+
+def test_modification_report_rewritten_shared_constraint():
+    a = make("p1", "m", [Component("core", "procedure", "v1")],
+             [_realization("shared_c", ["core"])])
+    b = make("p2", "m", [Component("core", "procedure", "v2")],
+             [_realization("shared_c", ["core"])])
+    report = modification_report(a, b, ["shared_c"])
+    assert not report.shared_constraints_stable
+    assert report.unstable_shared == ("shared_c",)
+
+
+def test_modification_report_missing_realization_is_unstable():
+    a = make("p1", "m", [Component("x", "path")], [_realization("c", ["x"])])
+    b = make("p2", "m", [Component("x", "path")], [])
+    report = modification_report(a, b, ["c"])
+    assert report.unstable_shared == ("c",)
+
+
+def test_modification_report_rejects_cross_mechanism():
+    a = make("p1", "monitor", [], [])
+    b = make("p2", "serializer", [], [])
+    with pytest.raises(ValueError):
+        modification_report(a, b)
+
+
+def test_modification_report_render():
+    a = make("p1", "m", [Component("x", "path", "1")],
+             [_realization("c", ["x"])])
+    b = make("p2", "m", [Component("x", "path", "2")],
+             [_realization("c", ["x"])])
+    text = modification_report(a, b, ["c"]).render()
+    assert "p1 -> p2" in text
+    assert "REWRITTEN" in text
+
+
+# ----------------------------------------------------------------------
+# Probes and conflicts on synthetic data
+# ----------------------------------------------------------------------
+def test_run_probes_reports_missing_pairs():
+    descriptions = [
+        make("readers_priority", "exotic", [], []),
+        # no writers_priority/exotic solution
+    ]
+    results = run_probes(descriptions)
+    exotic = [r for r in results if r.mechanism == "exotic"]
+    assert all(r.report is None for r in exotic)
+    assert all(r.independent is None for r in exotic)
+
+
+def test_detect_info_conflicts():
+    description = make(
+        "rw_fcfs", "monitor",
+        [Component("q", "condition")],
+        [ConstraintRealization(
+            "arrival_order", ("q",), ("two_stage_queue",), Directness.DIRECT
+        )],
+    )
+    conflicts = detect_info_conflicts([description])
+    assert conflicts == {"monitor": ["rw_fcfs/arrival_order"]}
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_measure_counts_gates_and_volume():
+    description = make(
+        "p", "m",
+        [
+            Component("g1", "sync_procedure", "abc"),
+            Component("g2", "sync_procedure", "de"),
+            Component("c", "condition", ""),
+        ],
+        [],
+    )
+    size = measure(description)
+    assert size.gates == 2
+    assert size.components == 3
+    assert size.text_volume == 5
+
+
+def test_per_mechanism_totals():
+    a = make("p1", "m", [Component("x", "path", "12")], [])
+    b = make("p2", "m", [Component("y", "sync_procedure", "3")], [])
+    totals = per_mechanism_totals(measure_all([a, b]))
+    assert totals["m"]["solutions"] == 2
+    assert totals["m"]["gates"] == 1
+    assert totals["m"]["text_volume"] == 3
+
+
+def test_renderers_produce_tables():
+    sizes = measure_all(e.description for e in all_solutions())
+    assert "components" in render_sizes(sizes)
+    assert "mechanism" in render_totals(per_mechanism_totals(sizes))
+
+
+# ----------------------------------------------------------------------
+# The paper's §5 verdicts, from the real registry
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def registry_summaries():
+    descriptions = [e.description for e in all_solutions()]
+    return summarize_independence(descriptions)
+
+
+def test_paper_verdict_pathexpr_violated(registry_summaries):
+    """§5.1.2: 'A modification to one constraint involves changing the
+    entire solution.'"""
+    summary = registry_summaries["pathexpr"]
+    assert summary.verdict == "VIOLATED"
+    assert summary.mean_change_fraction == 1.0
+
+
+def test_paper_verdict_monitor_conflict_only(registry_summaries):
+    """§5.2: independent except the T1xT2 queue conflict (two-stage fix)."""
+    summary = registry_summaries["monitor"]
+    assert summary.verdict == "partially violated"
+    priority_flip = [
+        p for p in summary.probes
+        if p.probe == ("readers_priority", "writers_priority")
+    ][0]
+    assert priority_flip.independent is True
+    conflict_probe = [
+        p for p in summary.probes
+        if p.probe == ("readers_priority", "rw_fcfs")
+    ][0]
+    assert conflict_probe.independent is False
+    assert summary.conflicts == ["rw_fcfs/arrival_order"]
+
+
+def test_paper_verdict_serializer_independent(registry_summaries):
+    """§5.2: serializers keep constraints independent; automatic signals
+    separate request time from request type."""
+    summary = registry_summaries["serializer"]
+    assert summary.verdict == "independent"
+
+
+def test_paper_verdict_semaphore_violated(registry_summaries):
+    """The CHP problem-2 explosion: almost everything rewritten."""
+    summary = registry_summaries["semaphore"]
+    assert summary.verdict == "VIOLATED"
+    assert summary.mean_change_fraction > 0.8
+
+
+def test_monitor_priority_flip_is_small(registry_summaries):
+    """'The difficulty in making modifications corresponded to the extent
+    of the change desired' — the monitor flip touches ~2 components."""
+    flip = [
+        p for p in registry_summaries["monitor"].probes
+        if p.probe == ("readers_priority", "writers_priority")
+    ][0]
+    assert flip.report.diff.touched <= 2
+
+
+def test_render_independence_table(registry_summaries):
+    text = render_independence(registry_summaries)
+    assert "rw_exclusion:stable" in text
+    assert "VIOLATED" in text

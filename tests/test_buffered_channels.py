@@ -1,0 +1,172 @@
+"""Tests for buffered (capacity > 0) channels: asynchronous sends, blocking
+at capacity, FIFO draining, refill from parked senders, and select arms."""
+
+import pytest
+
+from repro.mechanisms import Channel, ReceiveOp, SendOp, select
+from repro.runtime import RandomPolicy, Scheduler
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        Channel(Scheduler(), capacity=-1)
+
+
+def test_buffered_send_does_not_block_until_full():
+    sched = Scheduler()
+    chan = Channel(sched, "c", capacity=2)
+    progress = []
+
+    def sender():
+        yield from chan.send(1)
+        progress.append("one")
+        yield from chan.send(2)
+        progress.append("two")
+        yield from chan.send(3)  # buffer full: blocks
+        progress.append("three")
+
+    sched.spawn(sender, name="s")
+    result = sched.run(on_deadlock="return")
+    assert progress == ["one", "two"]
+    assert result.blocked == ["s"]
+    assert chan.buffered == 2
+
+
+def test_buffered_fifo_order():
+    sched = Scheduler()
+    chan = Channel(sched, "c", capacity=3)
+    got = []
+
+    def sender():
+        for v in ("a", "b", "c"):
+            yield from chan.send(v)
+
+    def receiver():
+        yield
+        for __ in range(3):
+            got.append((yield from chan.receive()))
+
+    sched.spawn(sender, name="s")
+    sched.spawn(receiver, name="r")
+    sched.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_receive_refills_from_parked_sender():
+    """When a slot frees up, the oldest blocked sender completes and its
+    value lands in the buffer, preserving order."""
+    sched = Scheduler()
+    chan = Channel(sched, "c", capacity=1)
+    got = []
+    sent = []
+
+    def sender():
+        for v in (1, 2, 3):
+            yield from chan.send(v)
+            sent.append(v)
+
+    def receiver():
+        yield
+        for __ in range(3):
+            got.append((yield from chan.receive()))
+            yield
+
+    sched.spawn(sender, name="s")
+    sched.spawn(receiver, name="r")
+    sched.run()
+    assert got == [1, 2, 3]
+    assert sent == [1, 2, 3]
+
+
+def test_receiver_waiting_gets_direct_delivery():
+    """A parked receiver is served before the buffer is used."""
+    sched = Scheduler()
+    chan = Channel(sched, "c", capacity=5)
+    got = []
+
+    def receiver():
+        got.append((yield from chan.receive()))
+
+    def sender():
+        yield
+        yield from chan.send("direct")
+
+    sched.spawn(receiver, name="r")
+    sched.spawn(sender, name="s")
+    sched.run()
+    assert got == ["direct"]
+    assert chan.buffered == 0
+
+
+def test_select_receive_arm_drains_buffer():
+    sched = Scheduler()
+    a = Channel(sched, "a", capacity=2)
+    b = Channel(sched, "b", capacity=2)
+    picked = []
+
+    def prefill():
+        yield from b.send(9)
+
+    def selector():
+        yield
+        index, value = yield from select(sched, [ReceiveOp(a), ReceiveOp(b)])
+        picked.append((index, value))
+
+    sched.spawn(prefill, name="p")
+    sched.spawn(selector, name="sel")
+    sched.run()
+    assert picked == [(1, 9)]
+
+
+def test_select_send_arm_uses_buffer_space():
+    sched = Scheduler()
+    chan = Channel(sched, "c", capacity=1)
+    picked = []
+
+    def selector():
+        index, value = yield from select(sched, [SendOp(chan, 42)])
+        picked.append((index, value))
+
+    sched.spawn(selector, name="sel")
+    sched.run()
+    assert picked == [(0, None)]
+    assert chan.buffered == 1
+
+
+def test_buffered_conservation_under_random_schedules():
+    for seed in (0, 1, 2):
+        sched = Scheduler(policy=RandomPolicy(seed))
+        chan = Channel(sched, "c", capacity=2)
+        got = []
+
+        def sender(base):
+            def body():
+                for i in range(4):
+                    yield from chan.send(base + i)
+            return body
+
+        def receiver():
+            for __ in range(8):
+                got.append((yield from chan.receive()))
+
+        sched.spawn(sender(100), name="s1")
+        sched.spawn(sender(200), name="s2")
+        sched.spawn(receiver, name="r")
+        result = sched.run()
+        assert not result.deadlocked
+        assert sorted(got) == [100, 101, 102, 103, 200, 201, 202, 203]
+
+
+def test_rendezvous_channels_unchanged():
+    """Capacity 0 keeps strict rendezvous semantics."""
+    sched = Scheduler()
+    chan = Channel(sched, "c")
+    assert chan.capacity == 0
+    assert chan.buffered == 0
+
+    def sender():
+        yield from chan.send(1)
+
+    sched.spawn(sender, name="s")
+    result = sched.run(on_deadlock="return")
+    assert result.blocked == ["s"]

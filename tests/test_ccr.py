@@ -1,0 +1,236 @@
+"""Unit tests for conditional critical regions: exclusion, guard blocking,
+automatic re-evaluation, FIFO-among-eligible fairness, and protocol errors."""
+
+import pytest
+
+from repro.mechanisms import SharedRegion
+from repro.runtime import (
+    DeadlockError,
+    IllegalOperationError,
+    ProcessFailed,
+    Scheduler,
+)
+
+
+def test_region_mutual_exclusion():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"inside": 0, "peak": 0}, name="v")
+
+    def body():
+        yield from cell.enter()
+        cell.vars["inside"] += 1
+        cell.vars["peak"] = max(cell.vars["peak"], cell.vars["inside"])
+        yield
+        cell.vars["inside"] -= 1
+        cell.leave()
+
+    for i in range(4):
+        sched.spawn(body, name="P{}".format(i))
+    sched.run()
+    assert cell.vars["peak"] == 1
+
+
+def test_guard_blocks_until_true():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"count": 0}, name="v")
+    order = []
+
+    def consumer():
+        yield from cell.enter(lambda v: v["count"] > 0)
+        cell.vars["count"] -= 1
+        order.append("consumed")
+        cell.leave()
+
+    def producer():
+        yield
+        yield from cell.enter()
+        cell.vars["count"] += 1
+        order.append("produced")
+        cell.leave()  # automatic re-evaluation admits the consumer
+
+    sched.spawn(consumer, name="c")
+    sched.spawn(producer, name="p")
+    sched.run()
+    assert order == ["produced", "consumed"]
+
+
+def test_no_explicit_signal_needed():
+    """The defining CCR property: release re-evaluates every guard."""
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"n": 0}, name="v")
+    woken = []
+
+    def waiter(threshold):
+        def body():
+            yield from cell.enter(lambda v: v["n"] >= threshold)
+            woken.append(threshold)
+            cell.leave()
+        return body
+
+    def incrementer():
+        for __ in range(3):
+            yield
+            yield from cell.enter()
+            cell.vars["n"] += 1
+            cell.leave()
+
+    sched.spawn(waiter(2), name="w2")
+    sched.spawn(waiter(1), name="w1")
+    sched.spawn(waiter(3), name="w3")
+    sched.spawn(incrementer, name="inc")
+    sched.run()
+    assert woken == [1, 2, 3]
+
+
+def test_fifo_among_eligible_waiters():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"open": False}, name="v")
+    order = []
+
+    def waiter(tag):
+        def body():
+            yield from cell.enter(lambda v: v["open"])
+            order.append(tag)
+            cell.leave()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield from cell.enter()
+        cell.vars["open"] = True
+        cell.leave()
+
+    for tag in "abc":
+        sched.spawn(waiter(tag), name=tag)
+    sched.spawn(opener, name="o")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_entry_waits_behind_queued_waiters():
+    """A newcomer with a true guard must not barge past queued waiters whose
+    guards are also true (fairness)."""
+    sched = Scheduler()
+    cell = SharedRegion(sched, {}, name="v")
+    order = []
+
+    def holder():
+        yield from cell.enter()
+        yield
+        yield
+        cell.leave()
+
+    def contender(tag):
+        def body():
+            for __ in range(ord(tag) - ord("a") + 1):
+                yield
+            yield from cell.enter()
+            order.append(tag)
+            cell.leave()
+        return body
+
+    sched.spawn(holder, name="h")
+    sched.spawn(contender("a"), name="a")
+    sched.spawn(contender("b"), name="b")
+    sched.run()
+    assert order == ["a", "b"]
+
+
+def test_false_guard_forever_deadlocks():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {}, name="v")
+
+    def waiter():
+        yield from cell.enter(lambda v: False)
+
+    sched.spawn(waiter, name="w")
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_leave_without_enter_raises():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {}, name="v")
+
+    def body():
+        yield
+        cell.leave()
+
+    sched.spawn(body)
+    with pytest.raises(ProcessFailed) as err:
+        sched.run()
+    assert isinstance(err.value.__cause__, IllegalOperationError)
+
+
+def test_reenter_raises():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {}, name="v")
+
+    def body():
+        yield from cell.enter()
+        yield from cell.enter()
+
+    sched.spawn(body)
+    with pytest.raises(ProcessFailed):
+        sched.run()
+
+
+def test_region_helper_runs_body_and_releases():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"x": 1}, name="v")
+    results = []
+
+    def body():
+        value = yield from cell.region(None, lambda v: v["x"] + 10)
+        results.append(value)
+
+    sched.spawn(body)
+    sched.run()
+    assert results == [11]
+    assert not cell.occupied
+
+
+def test_region_helper_releases_on_exception():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {}, name="v")
+
+    def explode(v):
+        raise ValueError("boom")
+
+    def bad():
+        yield from cell.region(None, explode)
+
+    def good(out):
+        yield
+        yield from cell.enter()
+        out.append(True)
+        cell.leave()
+
+    out = []
+    sched.spawn(bad, name="bad")
+    sched.spawn(good, out, name="good")
+    sched.run(on_error="record")
+    assert out == [True]
+
+
+def test_waiting_count():
+    sched = Scheduler()
+    cell = SharedRegion(sched, {"go": False}, name="v")
+    seen = []
+
+    def waiter():
+        yield from cell.enter(lambda v: v["go"])
+        cell.leave()
+
+    def checker():
+        yield
+        seen.append(cell.waiting)
+        yield from cell.enter()
+        cell.vars["go"] = True
+        cell.leave()
+
+    sched.spawn(waiter, name="w")
+    sched.spawn(checker, name="c")
+    sched.run()
+    assert seen == [1]

@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_coverage_command(capsys):
+    code, out = run_cli(capsys, "coverage")
+    assert code == 0
+    assert "bounded_buffer" in out
+    assert "none (complete suite)" in out
+
+
+def test_list_command(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "readers_priority" in out
+    assert "pathexpr" in out
+    assert "csp" in out
+
+
+def test_independence_command(capsys):
+    code, out = run_cli(capsys, "independence")
+    assert code == 0
+    assert "rw_exclusion:stable" in out
+    assert "VIOLATED" in out
+
+
+def test_anomaly_command_fast(capsys):
+    code, out = run_cli(capsys, "anomaly", "--fast")
+    assert code == 0
+    assert "REPRODUCED" in out
+
+
+def test_evaluate_fast(capsys):
+    code, out = run_cli(capsys, "evaluate", "--fast")
+    assert code == 0
+    assert "Expressive power" in out
+    assert "Constraint independence" in out
+
+
+def test_timeline_command(capsys):
+    code, out = run_cli(capsys, "timeline", "--mechanism", "monitor",
+                        "--width", "50")
+    assert code == 0
+    assert "R0" in out and "|" in out
+
+
+def test_timeline_unknown_solution(capsys):
+    code, out = run_cli(capsys, "timeline", "--mechanism", "quantum")
+    assert code == 1
+    assert "no such solution" in out
+
+
+def test_timeline_unsupported_problem(capsys):
+    code, out = run_cli(capsys, "timeline", "--problem", "alarm_clock",
+                        "--mechanism", "monitor")
+    assert code == 1
+
+
+def test_pairs_command(capsys):
+    code, out = run_cli(capsys, "pairs")
+    assert code == 0
+    assert "T1xT2" in out
+    assert "monitor" in out

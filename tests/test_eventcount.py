@@ -1,0 +1,209 @@
+"""Unit tests for eventcounts and sequencers: counting, await thresholds,
+wake ordering, ticket totality, and the canonical usage patterns."""
+
+from repro.mechanisms import EventCount, Sequencer
+from repro.runtime import DeadlockError, RandomPolicy, Scheduler
+
+import pytest
+
+
+def test_read_and_advance():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+
+    def body():
+        assert ec.read() == 0
+        ec.advance()
+        ec.advance()
+        assert ec.read() == 2
+        yield
+
+    sched.spawn(body)
+    sched.run()
+
+
+def test_await_already_satisfied_is_immediate():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+    done = []
+
+    def body():
+        ec.advance()
+        yield from ec.await_(1)
+        done.append(True)
+
+    sched.spawn(body)
+    sched.run()
+    assert done == [True]
+
+
+def test_await_blocks_until_threshold():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+    order = []
+
+    def waiter():
+        yield from ec.await_(3)
+        order.append("woken")
+
+    def advancer():
+        for i in range(3):
+            yield
+            order.append("advance")
+            ec.advance()
+
+    sched.spawn(waiter, name="w")
+    sched.spawn(advancer, name="a")
+    sched.run()
+    assert order == ["advance", "advance", "advance", "woken"]
+
+
+def test_waiters_wake_in_threshold_order():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+    woken = []
+
+    def waiter(threshold):
+        def body():
+            yield from ec.await_(threshold)
+            woken.append(threshold)
+        return body
+
+    def advancer():
+        for __ in range(3):
+            yield
+            ec.advance()
+
+    sched.spawn(waiter(3), name="w3")
+    sched.spawn(waiter(1), name="w1")
+    sched.spawn(waiter(2), name="w2")
+    sched.spawn(advancer, name="a")
+    sched.run()
+    assert woken == [1, 2, 3]
+
+
+def test_single_advance_wakes_all_reached_thresholds():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+    woken = []
+
+    def waiter(tag):
+        def body():
+            yield from ec.await_(1)
+            woken.append(tag)
+        return body
+
+    def advancer():
+        yield
+        yield
+        ec.advance()
+
+    sched.spawn(waiter("a"), name="a")
+    sched.spawn(waiter("b"), name="b")
+    sched.spawn(advancer, name="adv")
+    sched.run()
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_unreached_threshold_deadlocks():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+
+    def waiter():
+        yield from ec.await_(5)
+
+    sched.spawn(waiter, name="w")
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_waiters_count():
+    sched = Scheduler()
+    ec = EventCount(sched, "e")
+    seen = []
+
+    def waiter():
+        yield from ec.await_(9)
+
+    def checker():
+        yield
+        seen.append(ec.waiters)
+        for __ in range(9):
+            ec.advance()
+        yield
+
+    sched.spawn(waiter, name="w")
+    sched.spawn(checker, name="c")
+    sched.run()
+    assert seen == [1]
+
+
+def test_sequencer_issues_increasing_tickets():
+    sched = Scheduler()
+    seq = Sequencer(sched, "s")
+    tickets = []
+
+    def body():
+        tickets.append(seq.ticket())
+        tickets.append(seq.ticket())
+        yield
+
+    sched.spawn(body)
+    sched.run()
+    assert tickets == [0, 1]
+    assert seq.issued == 2
+
+
+def test_ticket_machine_mutual_exclusion():
+    """The canonical pattern: ticket + await = FCFS mutual exclusion."""
+    sched = Scheduler(policy=RandomPolicy(3))
+    seq = Sequencer(sched, "s")
+    ec = EventCount(sched, "e")
+    state = {"inside": 0, "peak": 0}
+    service = []
+
+    def body(tag):
+        def run():
+            ticket = seq.ticket()
+            yield from ec.await_(ticket)
+            state["inside"] += 1
+            state["peak"] = max(state["peak"], state["inside"])
+            service.append((ticket, tag))
+            yield
+            state["inside"] -= 1
+            ec.advance()
+        return run
+
+    for tag in "abcd":
+        sched.spawn(body(tag), name=tag)
+    sched.run()
+    assert state["peak"] == 1
+    assert [t for t, __ in service] == sorted(t for t, __ in service)
+
+
+def test_reed_kanodia_bounded_buffer_pattern():
+    """The Reed–Kanodia producer/consumer over two eventcounts."""
+    sched = Scheduler()
+    capacity = 2
+    ec_in = EventCount(sched, "in")
+    ec_out = EventCount(sched, "out")
+    slots = [None] * capacity
+    got = []
+    total = 6
+
+    def producer():
+        for i in range(1, total + 1):
+            yield from ec_out.await_(i - capacity)
+            slots[(i - 1) % capacity] = i * 10
+            ec_in.advance()
+
+    def consumer():
+        for i in range(1, total + 1):
+            yield from ec_in.await_(i)
+            got.append(slots[(i - 1) % capacity])
+            ec_out.advance()
+
+    sched.spawn(producer, name="P")
+    sched.spawn(consumer, name="C")
+    sched.run()
+    assert got == [10, 20, 30, 40, 50, 60]

@@ -1,0 +1,178 @@
+"""Integration tests for the §6 extension mechanisms (CSP and CCR) across
+the problem suite — experiment E11's substrate."""
+
+import pytest
+
+from repro.problems.alarm_clock import (
+    CcrAlarmClock,
+    CspAlarmClock,
+    run_sleepers,
+)
+from repro.problems.bounded_buffer import (
+    CcrBoundedBuffer,
+    CspBoundedBuffer,
+    run_producers_consumers,
+)
+from repro.problems.disk_scheduler import (
+    CcrDiskScheduler,
+    CspDiskScheduler,
+    run_requests,
+)
+from repro.problems.readers_writers import (
+    BURST_PLAN,
+    CcrRWFcfs,
+    CcrReadersPriority,
+    CcrWritersPriority,
+    CspRWFcfs,
+    CspReadersPriority,
+    CspWritersPriority,
+    run_workload,
+)
+from repro.problems.registry import solutions_for
+from repro.runtime import RandomPolicy, Scheduler
+from repro.verify import check_fcfs, check_mutual_exclusion, check_no_overtake
+
+EXT_RW = [
+    CspReadersPriority, CspWritersPriority, CspRWFcfs,
+    CcrReadersPriority, CcrWritersPriority, CcrRWFcfs,
+]
+
+
+def impl_id(cls):
+    return "{}-{}".format(cls.mechanism, cls.problem)
+
+
+# ----------------------------------------------------------------------
+# Registry-level: every csp/ccr entry passes its full battery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "entry",
+    solutions_for(mechanism="csp") + solutions_for(mechanism="ccr"),
+    ids=lambda e: "{}-{}".format(*e.key),
+)
+def test_extension_solutions_verify(entry):
+    assert entry.verifier() == []
+
+
+# ----------------------------------------------------------------------
+# Exclusion safety under random schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", EXT_RW, ids=impl_id)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_rw_exclusion_random_schedules(cls, seed):
+    result = run_workload(
+        lambda sched: cls(sched), BURST_PLAN, policy=RandomPolicy(seed)
+    )
+    assert not result.deadlocked, result.blocked
+    assert check_mutual_exclusion(
+        result.trace, "db", exclusive_ops=["write"], shared_ops=["read"]
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Behavioural specifics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "cls", [CspReadersPriority, CcrReadersPriority], ids=impl_id
+)
+def test_ext_readers_share(cls):
+    sched = Scheduler()
+    impl = cls(sched)
+
+    def reader():
+        yield from impl.read(work=5)
+
+    sched.spawn(reader, name="R1")
+    sched.spawn(reader, name="R2")
+    result = sched.run()
+    starts = result.trace.filter(kind="op_start", obj="db.read")
+    ends = result.trace.filter(kind="op_end", obj="db.read")
+    assert len(starts) == 2
+    assert starts[1].seq < ends[0].seq, "readers did not overlap"
+
+
+@pytest.mark.parametrize(
+    "cls", [CspWritersPriority, CcrWritersPriority], ids=impl_id
+)
+def test_ext_writers_block_new_readers(cls):
+    sched = Scheduler()
+    impl = cls(sched)
+    order = []
+
+    def early_reader():
+        yield from impl.read(work=6)
+        order.append("R1")
+
+    def writer():
+        yield from sched.sleep(1)
+        yield from impl.write(1, work=1)
+        order.append("W")
+
+    def late_reader():
+        yield from sched.sleep(2)
+        yield from impl.read(work=1)
+        order.append("R2")
+
+    sched.spawn(early_reader, name="R1")
+    sched.spawn(writer, name="W")
+    sched.spawn(late_reader, name="R2")
+    sched.run()
+    assert order.index("W") < order.index("R2")
+
+
+def test_csp_fcfs_channel_is_the_queue():
+    """The CSP rw_fcfs server grants in channel (arrival) order."""
+    result = run_workload(lambda sched: CspRWFcfs(sched), BURST_PLAN)
+    assert check_fcfs(result.trace, "db", ["read", "write"]) == []
+
+
+def test_ccr_tickets_give_fcfs():
+    result = run_workload(lambda sched: CcrRWFcfs(sched), BURST_PLAN)
+    assert check_fcfs(result.trace, "db", ["read", "write"]) == []
+
+
+def test_csp_readers_priority_no_overtake():
+    result = run_workload(lambda sched: CspReadersPriority(sched), BURST_PLAN)
+    assert check_no_overtake(result.trace, "db", "read", "write") == []
+
+
+def test_ext_buffer_conservation():
+    for cls in (CspBoundedBuffer, CcrBoundedBuffer):
+        result, produced, consumed = run_producers_consumers(
+            lambda sched, c=cls: c(sched, capacity=2)
+        )
+        assert not result.deadlocked
+        assert sorted(consumed) == sorted(produced), cls.__name__
+
+
+def test_ext_alarm_wake_order():
+    for cls in (CspAlarmClock, CcrAlarmClock):
+        __, wakes = run_sleepers(lambda s, c=cls: c(s), delays=(6, 2, 8, 4))
+        assert wakes == [2, 4, 6, 8], cls.__name__
+
+
+def test_ext_disk_scan_orders():
+    """CCR grants at request time like the monitor (same order); the CSP
+    server's one-hop delay batches a simultaneous burst and serves it in
+    pure sweep order — both are valid SCAN (the oracle already checks that
+    in the registry battery)."""
+    plan = [(0, t) for t in (60, 20, 90, 40)]
+    __, ccr_impl = run_requests(lambda s: CcrDiskScheduler(s), plan)
+    assert ccr_impl.disk.served == [60, 90, 40, 20]
+    __, csp_impl = run_requests(lambda s: CspDiskScheduler(s), plan)
+    assert csp_impl.disk.served == [20, 40, 60, 90]
+    # The batched sweep is also the cheaper one:
+    assert csp_impl.disk.total_seek <= ccr_impl.disk.total_seek
+
+
+def test_csp_server_is_daemon():
+    """The server must not keep the run alive or show up as blocked."""
+    sched = Scheduler()
+    impl = CspReadersPriority(sched)
+
+    def reader():
+        yield from impl.read(work=1)
+
+    sched.spawn(reader, name="R")
+    result = sched.run()
+    assert result.blocked == []

@@ -1,0 +1,190 @@
+"""Additional tests for the guarded (open) path-expression engine: runtime
+guard/priority mutation, gate depth, listener mechanics, and interactions
+between guards and base-path constraints."""
+
+from repro.mechanisms.pathexpr import GuardedPathResource, PathResource
+from repro.runtime import Scheduler
+
+
+def test_gate_depth_tracks_parked_requests():
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path go end",
+        guards={"go": lambda r, args: r.state.get("open", False)},
+        name="r",
+    )
+    depths = []
+
+    def runner(tag):
+        def body():
+            yield from res.invoke("go")
+        return body
+
+    def observer():
+        yield
+        yield
+        depths.append(res.gate_depth)
+        res.state["open"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(runner("a"), name="A")
+    sched.spawn(runner("b"), name="B")
+    sched.spawn(observer, name="O")
+    sched.run()
+    assert depths == [2]
+    assert res.gate_depth == 0
+
+
+def test_set_guard_at_runtime():
+    sched = Scheduler()
+    res = GuardedPathResource(sched, "path go end", name="r")
+    order = []
+
+    def early():
+        yield from res.invoke("go")
+        order.append("early")
+
+    def config_then_go():
+        # Attach a guard AFTER construction, then satisfy it.
+        res.set_guard("go", lambda r, args: r.state.get("ok", False))
+        yield
+        yield from res.invoke("go")
+        order.append("late-blocked")
+
+    def opener():
+        yield
+        yield
+        yield
+        res.state["ok"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(early, name="E")  # runs before the guard exists
+    sched.spawn(config_then_go, name="C")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["early", "late-blocked"]
+
+
+def test_set_priority_at_runtime():
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path a , b end",
+        guards={
+            "a": lambda r, args: r.state.get("open", False),
+            "b": lambda r, args: r.state.get("open", False),
+        },
+        name="r",
+    )
+    res.set_priority("b", 99)
+    order = []
+
+    def invoke(op):
+        def body():
+            yield from res.invoke(op)
+            order.append(op)
+        return body
+
+    def opener():
+        yield
+        yield
+        res.state["open"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(invoke("a"), name="A")
+    sched.spawn(invoke("b"), name="B")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["b", "a"]
+
+
+def test_guards_compose_with_base_path_ordering():
+    """A guard admits a request, but the base path still sequences it."""
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path first ; second end",
+        guards={"second": lambda r, args: r.state.get("allow", False)},
+        name="r",
+    )
+    order = []
+
+    def call(op):
+        def body():
+            yield from res.invoke(op)
+            order.append(op)
+        return body
+
+    def opener():
+        res.state["allow"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(opener, name="O")
+    sched.spawn(call("second"), name="S")  # guard passes, path blocks
+    sched.spawn(call("first"), name="F")
+    sched.run()
+    assert order == ["first", "second"]
+
+
+def test_listener_receives_all_phases():
+    sched = Scheduler()
+    res = PathResource(sched, "path a end", name="r")
+    phases = []
+    res.add_listener(lambda phase, op, detail: phases.append((phase, op)))
+
+    def body():
+        yield from res.invoke("a")
+
+    sched.spawn(body)
+    sched.run()
+    assert phases == [("request", "a"), ("op_start", "a"), ("op_end", "a")]
+
+
+def test_operation_names_includes_body_only_ops():
+    sched = Scheduler()
+    res = PathResource(
+        sched, "path a end", operations={"free": lambda r: None}, name="r"
+    )
+    assert res.operation_names == ["a", "free"]
+
+
+def test_describe_ops_guarded_resource():
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched, "path a ; b end",
+        guards={"a": lambda r, args: True},
+        name="r",
+    )
+    described = res.describe_ops()
+    assert set(described) == {"a", "b"}
+
+
+def test_unguarded_op_passes_straight_through():
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path a , b end",
+        guards={"b": lambda r, args: False},
+        name="r",
+    )
+    done = []
+
+    def call_a():
+        yield from res.invoke("a")
+        done.append("a")
+
+    sched.spawn(call_a, name="A")
+    sched.run()
+    assert done == ["a"]
+
+
+def test_wait_summary_row_helper():
+    from repro.verify.liveness import WaitSummary
+
+    row = WaitSummary("db.read", 3, 1, 2.5, 4, 1).row()
+    assert row == ["db.read", "3", "1", "2.5", "4", "1"]

@@ -1,0 +1,181 @@
+"""Unit tests for the liveness analysis and the ASCII timeline renderer."""
+
+from repro.problems.readers_writers import (
+    MonitorRWFcfs,
+    PathReadersPriority,
+    run_workload,
+)
+from repro.problems.readers_writers.anomaly import footnote3_workload
+from repro.runtime import Scheduler, render_timeline
+from repro.runtime.trace import Event, Trace
+from repro.verify import (
+    check_bounded_waiting,
+    class_wait_summary,
+    starvation_report,
+    unserved_requests,
+    waiting_times,
+)
+
+
+def build_trace(events):
+    trace = Trace()
+    for seq, (pid, kind, obj) in enumerate(events):
+        trace.append(Event(seq, 0, pid, "P{}".format(pid), kind, obj))
+    return trace
+
+
+# ----------------------------------------------------------------------
+# waiting_times / unserved_requests
+# ----------------------------------------------------------------------
+def test_waiting_times_pairs_request_with_start():
+    trace = build_trace([
+        (1, "request", "r.use"),     # seq 0
+        (2, "request", "r.use"),     # seq 1
+        (1, "op_start", "r.use"),    # seq 2 -> wait 2
+        (2, "op_start", "r.use"),    # seq 3 -> wait 2
+    ])
+    waits = waiting_times(trace, "r", ["use"])
+    assert [w.duration for w in waits] == [2, 2]
+    assert waits[0].pname == "P1"
+
+
+def test_waiting_times_handles_repeat_requests():
+    trace = build_trace([
+        (1, "request", "r.use"),
+        (1, "op_start", "r.use"),
+        (1, "request", "r.use"),
+        (1, "op_start", "r.use"),
+    ])
+    waits = waiting_times(trace, "r", ["use"])
+    assert [w.duration for w in waits] == [1, 1]
+
+
+def test_unserved_requests_found():
+    trace = build_trace([
+        (1, "request", "r.use"),
+        (1, "op_start", "r.use"),
+        (2, "request", "r.use"),  # never served
+    ])
+    starved = unserved_requests(trace, "r", ["use"])
+    assert starved == [("P2", "r.use", 2)]
+
+
+def test_class_wait_summary():
+    trace = build_trace([
+        (1, "request", "db.read"),
+        (2, "request", "db.write"),
+        (1, "op_start", "db.read"),
+        (3, "request", "db.read"),
+    ])
+    summaries = class_wait_summary(trace, "db", ["read", "write"])
+    assert summaries["read"].served == 1
+    assert summaries["read"].unserved == 1
+    assert summaries["write"].served == 0
+    assert summaries["write"].unserved == 1
+
+
+def test_check_bounded_waiting_flags_long_waits():
+    trace = build_trace([
+        (1, "request", "r.use"),
+        (2, "request", "r.use"),
+        (2, "op_start", "r.use"),
+        (2, "op_end", "r.use"),
+        (1, "op_start", "r.use"),  # waited 4
+    ])
+    assert check_bounded_waiting(trace, "r", ["use"], bound=2)
+    assert check_bounded_waiting(trace, "r", ["use"], bound=10) == []
+
+
+def test_check_bounded_waiting_flags_starvation():
+    trace = build_trace([
+        (1, "request", "r.use"),
+    ])
+    violations = check_bounded_waiting(trace, "r", ["use"], bound=100)
+    assert violations and "never served" in violations[0]
+
+
+def test_starvation_report_renders():
+    trace = build_trace([
+        (1, "request", "db.read"),
+        (1, "op_start", "db.read"),
+    ])
+    text = starvation_report(trace, "db", ["read", "write"])
+    assert "db.read" in text and "db.write" in text
+
+
+# ----------------------------------------------------------------------
+# Integration: the paper's starvation claim measured
+# ----------------------------------------------------------------------
+def test_writer_starves_under_readers_priority_stream():
+    """§5.1.1: the spec 'allows writers to starve' — with a sustained
+    reader stream, the writer's wait dwarfs every reader's."""
+    sched = Scheduler()
+    impl = PathReadersPriority(sched)
+
+    def reader_stream(rounds):
+        def body():
+            for __ in range(rounds):
+                yield from impl.read(work=2)
+        return body
+
+    def writer():
+        yield
+        yield from impl.write(1, work=1)
+
+    sched.spawn(reader_stream(6), name="Ra")
+    sched.spawn(reader_stream(6), name="Rb")
+    sched.spawn(writer, name="W")
+    result = sched.run()
+    summaries = class_wait_summary(result.trace, "db", ["read", "write"])
+    assert summaries["write"].max_wait > summaries["read"].max_wait * 3
+
+
+def test_fcfs_bounds_waiting():
+    """Under FCFS nobody's wait explodes relative to the others."""
+    from repro.problems.readers_writers import BURST_PLAN
+
+    result = run_workload(lambda sched: MonitorRWFcfs(sched), BURST_PLAN * 2)
+    waits = waiting_times(result.trace, "db", ["read", "write"])
+    assert waits
+    assert unserved_requests(result.trace, "db", ["read", "write"]) == []
+
+
+# ----------------------------------------------------------------------
+# Timeline rendering
+# ----------------------------------------------------------------------
+def test_timeline_shows_anomaly_shape():
+    result = footnote3_workload(
+        lambda sched: PathReadersPriority(sched)
+    )
+    chart = render_timeline(
+        result.trace, {"db.read": "R", "db.write": "W"}
+    )
+    lines = {row.split(" |")[0].strip(): row for row in chart.splitlines()}
+    assert set(lines) == {"W1", "W2", "R1"}
+    # W2's write appears before R1's read (the overtake), left to right.
+    w2_col = lines["W2"].index("W", lines["W2"].index("|"))
+    r1_col = lines["R1"].index("R", lines["R1"].index("|"))
+    assert w2_col < r1_col
+
+
+def test_timeline_empty_trace():
+    assert "no matching events" in render_timeline(Trace(), {"x.y": "X"})
+
+
+def test_timeline_width_squeeze():
+    result = footnote3_workload(lambda sched: PathReadersPriority(sched))
+    chart = render_timeline(
+        result.trace, {"db.read": "R", "db.write": "W"}, width=40
+    )
+    for row in chart.splitlines():
+        body = row.split("| ", 1)[1]
+        assert len(body) <= 40
+
+
+def test_timeline_include_filter():
+    result = footnote3_workload(lambda sched: PathReadersPriority(sched))
+    chart = render_timeline(
+        result.trace, {"db.write": "W"}, include=["W1"]
+    )
+    assert chart.splitlines()[0].startswith("W1")
+    assert len(chart.splitlines()) == 1

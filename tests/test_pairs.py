@@ -1,0 +1,81 @@
+"""Unit tests for the §4.2 pairwise information-type analysis."""
+
+from repro.core import (
+    Component,
+    ConstraintRealization,
+    Directness,
+    InformationType,
+    ModularityProfile,
+    SolutionDescription,
+    all_pairs,
+    conflicting_pairs,
+    pair_coverage,
+    render_pair_coverage,
+    uncovered_pairs,
+)
+from repro.problems.registry import all_solutions
+
+T1 = InformationType.REQUEST_TYPE
+T2 = InformationType.REQUEST_TIME
+T4 = InformationType.SYNC_STATE
+
+
+def test_fifteen_pairs():
+    pairs = all_pairs()
+    assert len(pairs) == 15
+    assert all(len(p) == 2 for p in pairs)
+    assert len(set(pairs)) == 15
+
+
+def test_pair_coverage_finds_probing_problems():
+    coverage = pair_coverage()
+    assert "rw_fcfs" in coverage[frozenset({T1, T2})]
+    assert "staged_queue" in coverage[frozenset({T1, T2})]
+    assert "readers_priority" in coverage[frozenset({T1, T4})]
+
+
+def test_uncovered_pairs_reported():
+    gaps = uncovered_pairs()
+    # The catalog probes 5 of the 15 pairs; the rest are honest blind spots
+    # (the paper: complete pair checking "is not as easy").
+    assert frozenset({T1, T2}) not in gaps
+    assert len(gaps) == 10
+
+
+def test_conflicting_pairs_recovers_monitor_t1xt2():
+    """The §5.2 monitor conflict is recoverable from the descriptions."""
+    conflicts = conflicting_pairs(e.description for e in all_solutions())
+    assert "monitor" in conflicts
+    assert frozenset({T1, T2}) in conflicts["monitor"]
+    # Serializers and CSP never needed the resolving idiom.
+    assert "serializer" not in conflicts
+    assert "csp" not in conflicts
+
+
+def test_conflicting_pairs_from_synthetic_description():
+    description = SolutionDescription(
+        problem="rw_fcfs",
+        mechanism="exotic",
+        components=(Component("q", "condition"),),
+        realizations=(
+            ConstraintRealization(
+                "arrival_order",
+                ("q",),
+                ("two_stage_queue",),
+                Directness.DIRECT,
+                info_handling={T1: Directness.DIRECT, T2: Directness.DIRECT},
+            ),
+        ),
+        modularity=ModularityProfile(True, True, True),
+    )
+    conflicts = conflicting_pairs([description])
+    assert conflicts == {"exotic": {frozenset({T1, T2})}}
+
+
+def test_render_pair_coverage_table():
+    coverage = pair_coverage()
+    conflicts = conflicting_pairs(e.description for e in all_solutions())
+    text = render_pair_coverage(coverage, conflicts)
+    assert "T1xT2" in text
+    assert "monitor" in text
+    assert "(uncovered)" in text

@@ -1,0 +1,589 @@
+"""Behavioural tests for compiled path expressions: cyclic ordering, mutual
+exclusion via selection, burst concurrency, nested invocation, multi-path
+composition, and the guarded (extended) engine."""
+
+import pytest
+
+from repro.mechanisms.pathexpr import (
+    GuardedPathResource,
+    PathCompileError,
+    PathResource,
+)
+from repro.runtime import IllegalOperationError, ProcessFailed, Scheduler
+
+
+def ops_in_order(trace, resource_prefix):
+    """Project op_start events for a resource, as bare op names."""
+    return [
+        ev.obj.split(".", 1)[1]
+        for ev in trace.filter(kind="op_start")
+        if ev.obj.startswith(resource_prefix + ".")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sequencing
+# ----------------------------------------------------------------------
+def test_sequence_enforces_alternation():
+    """path put ; get end — the one-slot buffer skeleton: strict p,g,p,g."""
+    sched = Scheduler()
+    res = PathResource(sched, "path put ; get end", name="slot")
+
+    def putter():
+        for _ in range(3):
+            yield from res.invoke("put")
+
+    def getter():
+        for _ in range(3):
+            yield from res.invoke("get")
+
+    sched.spawn(getter, name="G")  # getter first: must still wait for put
+    sched.spawn(putter, name="P")
+    result = sched.run()
+    assert ops_in_order(result.trace, "slot") == [
+        "put", "get", "put", "get", "put", "get",
+    ]
+
+
+def test_sequence_of_three():
+    sched = Scheduler()
+    res = PathResource(sched, "path a ; b ; c end", name="r")
+    order = []
+
+    def call(op):
+        def body():
+            yield from res.invoke(op)
+            order.append(op)
+        return body
+
+    sched.spawn(call("c"), name="C")
+    sched.spawn(call("b"), name="B")
+    sched.spawn(call("a"), name="A")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_cycle_repeats():
+    """After a full a;b cycle, a may run again."""
+    sched = Scheduler()
+    res = PathResource(sched, "path a ; b end", name="r")
+    done = []
+
+    def body():
+        yield from res.invoke("a")
+        yield from res.invoke("b")
+        yield from res.invoke("a")
+        yield from res.invoke("b")
+        done.append(True)
+
+    sched.spawn(body)
+    sched.run()
+    assert done == [True]
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def test_selection_mutual_exclusion():
+    """path a , b end — a and b exclude each other and themselves."""
+    sched = Scheduler()
+    res = PathResource(sched, "path a , b end", name="r")
+    active = []
+    overlap = []
+
+    def body(op):
+        def run():
+            yield from res.invoke(op, )
+        return run
+
+    def tracked(op):
+        def body(res_, ):
+            active.append(op)
+            overlap.append(len(active))
+            yield
+            active.remove(op)
+        return body
+
+    res.define("a", tracked("a"))
+    res.define("b", tracked("b"))
+
+    for i in range(3):
+        sched.spawn(body("a"), name="A{}".format(i))
+        sched.spawn(body("b"), name="B{}".format(i))
+    sched.run()
+    assert max(overlap) == 1
+
+
+def test_selection_fifo_longest_waiting_first():
+    """The paper's §5.1 assumption: selection picks the longest-waiting
+    process, across both alternatives."""
+    sched = Scheduler()
+    res = PathResource(sched, "path a , b end", name="r")
+    order = []
+
+    def holder(res_):
+        yield  # keep the cycle busy for a while
+        yield
+
+    res.define("a", holder)
+
+    def invoke(op, tag):
+        def body():
+            yield from res.invoke(op)
+            order.append(tag)
+        return body
+
+    sched.spawn(invoke("a", "first-a"), name="P0")
+    # These queue up while P0 holds the path, in spawn order:
+    sched.spawn(invoke("b", "b1"), name="P1")
+    sched.spawn(invoke("a", "a2"), name="P2")
+    sched.spawn(invoke("b", "b3"), name="P3")
+    sched.run()
+    assert order == ["first-a", "b1", "a2", "b3"]
+
+
+# ----------------------------------------------------------------------
+# Burst
+# ----------------------------------------------------------------------
+def test_burst_allows_concurrency():
+    """path { read } end — many reads overlap."""
+    sched = Scheduler()
+    res = PathResource(sched, "path { read } end", name="r")
+    active = []
+    peak = []
+
+    def reading(res_):
+        active.append(1)
+        peak.append(len(active))
+        yield
+        active.pop()
+
+    res.define("read", reading)
+
+    def reader():
+        yield from res.invoke("read")
+
+    for i in range(4):
+        sched.spawn(reader, name="R{}".format(i))
+    sched.run()
+    assert max(peak) == 4
+
+
+def test_burst_selection_readers_writers_exclusion():
+    """path { read } , write end — the paper's canonical exclusion
+    constraint: readers share, a writer excludes everyone."""
+    sched = Scheduler()
+    res = PathResource(sched, "path { read } , write end", name="db")
+    active = {"r": 0, "w": 0}
+    violations = []
+
+    def reading(res_):
+        active["r"] += 1
+        if active["w"]:
+            violations.append("read during write")
+        yield
+        active["r"] -= 1
+
+    def writing(res_):
+        active["w"] += 1
+        if active["r"] or active["w"] > 1:
+            violations.append("write overlap")
+        yield
+        active["w"] -= 1
+
+    res.define("read", reading)
+    res.define("write", writing)
+
+    def reader(i):
+        def body():
+            yield from res.invoke("read")
+        return body
+
+    def writer(i):
+        def body():
+            yield from res.invoke("write")
+        return body
+
+    for i in range(3):
+        sched.spawn(reader(i), name="R{}".format(i))
+        sched.spawn(writer(i), name="W{}".format(i))
+    sched.run()
+    assert violations == []
+
+
+def test_burst_last_out_closes_region():
+    """While any read is active, write cannot start; once the last read
+    finishes, the queued write proceeds."""
+    sched = Scheduler()
+    res = PathResource(sched, "path { read } , write end", name="db")
+    order = []
+
+    def slow_read(res_):
+        order.append("read-start")
+        yield
+        yield
+        order.append("read-end")
+
+    def write(res_):
+        order.append("write")
+        yield
+
+    res.define("read", slow_read)
+    res.define("write", write)
+
+    def reader():
+        yield from res.invoke("read")
+
+    def writer():
+        yield
+        yield from res.invoke("write")
+
+    sched.spawn(reader, name="R1")
+    sched.spawn(reader, name="R2")
+    sched.spawn(writer, name="W")
+    sched.run()
+    assert order.index("write") > order.index("read-end")
+    assert order.count("read-start") == 2
+
+
+def test_burst_of_sequence():
+    """path { (open ; close) } end — closes never outnumber opens."""
+    sched = Scheduler()
+    res = PathResource(sched, "path { (open ; close) } end", name="r")
+    balance = {"open": 0}
+    violations = []
+
+    def opening(res_):
+        balance["open"] += 1
+        yield
+
+    def closing(res_):
+        balance["open"] -= 1
+        if balance["open"] < 0:
+            violations.append("close before open")
+        yield
+
+    res.define("open", opening)
+    res.define("close", closing)
+
+    def user():
+        yield from res.invoke("open")
+        yield from res.invoke("close")
+
+    for i in range(3):
+        sched.spawn(user, name="U{}".format(i))
+    sched.run()
+    assert violations == []
+    assert balance["open"] == 0
+
+
+# ----------------------------------------------------------------------
+# Composition and bodies
+# ----------------------------------------------------------------------
+def test_operation_in_multiple_paths():
+    """An op named in two paths must satisfy both."""
+    sched = Scheduler()
+    res = PathResource(
+        sched,
+        ["path a ; b end", "path b ; c end"],
+        name="r",
+    )
+    order = []
+
+    def invoke(op):
+        def body():
+            yield from res.invoke(op)
+            order.append(op)
+        return body
+
+    sched.spawn(invoke("c"), name="C")
+    sched.spawn(invoke("b"), name="B")
+    sched.spawn(invoke("a"), name="A")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_nested_invocation():
+    """Figure-1 style: READ = begin requestread end, where requestread's
+    body invokes read."""
+    sched = Scheduler()
+    res = PathResource(sched, "path { requestread } end", name="r")
+    order = []
+
+    def requestread_body(res_):
+        order.append("gate")
+        yield from res_.invoke("read")
+
+    def read_body(res_):
+        order.append("read")
+        yield
+
+    res.define("requestread", requestread_body)
+    res.define("read", read_body)
+
+    def proc():
+        yield from res.invoke("requestread")
+
+    sched.spawn(proc, name="P")
+    sched.run()
+    assert order == ["gate", "read"]
+
+
+def test_plain_function_body():
+    sched = Scheduler()
+    res = PathResource(sched, "path get end", name="r")
+    res.define("get", lambda res_: 99)
+
+    def proc(out):
+        value = yield from res.invoke("get")
+        out.append(value)
+
+    out = []
+    sched.spawn(proc, out, name="P")
+    sched.run()
+    assert out == [99]
+
+
+def test_body_receives_arguments():
+    sched = Scheduler()
+    res = PathResource(sched, "path put end", name="r")
+    stored = []
+
+    def put_body(res_, value):
+        stored.append(value)
+        yield
+
+    res.define("put", put_body)
+
+    def proc():
+        yield from res.invoke("put", 7)
+
+    sched.spawn(proc)
+    sched.run()
+    assert stored == [7]
+
+
+def test_unknown_operation_raises():
+    sched = Scheduler()
+    res = PathResource(sched, "path a end", name="r")
+
+    def proc():
+        yield from res.invoke("nope")
+
+    sched.spawn(proc)
+    with pytest.raises(ProcessFailed) as err:
+        sched.run()
+    assert isinstance(err.value.__cause__, IllegalOperationError)
+
+
+def test_duplicate_op_in_one_path_rejected():
+    with pytest.raises(PathCompileError):
+        PathResource(Scheduler(), "path a ; a end")
+
+
+def test_history_counters():
+    sched = Scheduler()
+    res = PathResource(sched, "path put ; get end", name="r")
+
+    def proc():
+        yield from res.invoke("put")
+        yield from res.invoke("get")
+        yield from res.invoke("put")
+
+    sched.spawn(proc)
+    sched.run()
+    assert res.completed("put") == 2
+    assert res.completed("get") == 1
+    assert res.active("put") == 0
+
+
+def test_operation_helper():
+    sched = Scheduler()
+    res = PathResource(sched, "path ping end", name="r")
+    ping = res.operation("ping")
+    count = []
+
+    def proc():
+        yield from ping()
+        count.append(res.completed("ping"))
+
+    sched.spawn(proc)
+    sched.run()
+    assert count == [1]
+
+
+def test_describe_ops_structure():
+    res = PathResource(Scheduler(), "path { read } , write end", name="db")
+    description = res.describe_ops()
+    assert set(description) == {"read", "write"}
+    assert "burst_enter" in description["read"][0]
+    assert "P(" in description["write"][0]
+
+
+# ----------------------------------------------------------------------
+# Guarded (extended) paths
+# ----------------------------------------------------------------------
+def test_guard_blocks_until_predicate():
+    """Andler-style predicate: get waits until something was put."""
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path put , get end",
+        guards={"get": lambda r, args: r.completed("put") > r.completed("get")},
+        name="buf",
+    )
+    order = []
+
+    def getter():
+        yield from res.invoke("get")
+        order.append("get")
+
+    def putter():
+        yield
+        yield from res.invoke("put")
+        order.append("put")
+
+    sched.spawn(getter, name="G")
+    sched.spawn(putter, name="P")
+    sched.run()
+    assert order == ["put", "get"]
+
+
+def test_guard_priorities():
+    """Priority operator: among eligible blocked requests, the highest
+    priority proceeds first."""
+    sched = Scheduler()
+    gate = {"open": False}
+    res = GuardedPathResource(
+        sched,
+        "path low , high end",
+        guards={
+            "low": lambda r, args: gate["open"],
+            "high": lambda r, args: gate["open"],
+        },
+        priorities={"high": 10, "low": 1},
+        name="r",
+    )
+    order = []
+
+    def invoke(op):
+        def body():
+            yield from res.invoke(op)
+            order.append(op)
+        return body
+
+    def opener():
+        yield
+        yield
+        gate["open"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(invoke("low"), name="L")
+    sched.spawn(invoke("high"), name="H")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["high", "low"]
+
+
+def test_guard_parameter_access():
+    """Guards can read request parameters — information type T3, which base
+    paths cannot express."""
+    sched = Scheduler()
+    limit = {"max": 5}
+    res = GuardedPathResource(
+        sched,
+        "path request end",
+        guards={"request": lambda r, args: args[0] <= limit["max"]},
+        name="r",
+    )
+    order = []
+
+    def big():
+        yield from res.invoke("request", 10)
+        order.append("big")
+
+    def small():
+        yield
+        yield from res.invoke("request", 3)
+        order.append("small")
+
+    def raiser():
+        yield
+        yield
+        yield
+        limit["max"] = 20
+        res.recheck_guards()
+        yield
+
+    sched.spawn(big, name="B")
+    sched.spawn(small, name="S")
+    sched.spawn(raiser, name="R")
+    sched.run()
+    assert order == ["small", "big"]
+
+
+def test_guard_state_variables():
+    sched = Scheduler()
+    res = GuardedPathResource(
+        sched,
+        "path go end",
+        guards={"go": lambda r, args: r.state.get("enabled", False)},
+        name="r",
+    )
+    order = []
+
+    def runner():
+        yield from res.invoke("go")
+        order.append("go")
+
+    def enabler():
+        yield
+        res.state["enabled"] = True
+        res.recheck_guards()
+        yield
+
+    sched.spawn(runner, name="run")
+    sched.spawn(enabler, name="en")
+    sched.run()
+    assert order == ["go"]
+
+
+def test_guard_rechecked_after_wake():
+    """Mesa discipline: a woken request whose guard turned false again
+    re-parks instead of proceeding."""
+    sched = Scheduler()
+    tokens = {"n": 0}
+    res = GuardedPathResource(
+        sched,
+        "path take end",
+        guards={"take": lambda r, args: tokens["n"] > 0},
+        name="r",
+    )
+
+    def take_body(res_):
+        tokens["n"] -= 1
+        yield
+
+    res.define("take", take_body)
+    got = []
+
+    def taker(tag):
+        def body():
+            yield from res.invoke("take")
+            got.append(tag)
+        return body
+
+    def producer():
+        yield
+        yield
+        tokens["n"] = 1  # only one token for two takers
+        res.recheck_guards()
+        yield
+
+    sched.spawn(taker("t1"), name="T1")
+    sched.spawn(taker("t2"), name="T2")
+    sched.spawn(producer, name="P")
+    result = sched.run(on_deadlock="return")
+    assert got == ["t1"]
+    assert result.blocked == ["T2"]

@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) over the core invariants:
+
+* scheduler determinism and conservation of processes;
+* semaphore safety under arbitrary seeded schedules;
+* path-expression parser round-trips and compiled-semantics invariants;
+* readers/writers exclusion safety under random workloads AND random
+  schedules, for every mechanism;
+* bounded buffer conservation and capacity invariants;
+* oracle consistency (a serial trace always satisfies mutual exclusion).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms.pathexpr import parse_path
+from repro.mechanisms.pathexpr.ast import Burst, Name, Selection, Sequence
+from repro.problems.bounded_buffer import (
+    MonitorBoundedBuffer,
+    OpenPathBoundedBuffer,
+    SemaphoreBoundedBuffer,
+    SerializerBoundedBuffer,
+    run_producers_consumers,
+)
+from repro.problems.readers_writers import (
+    MonitorReadersPriority,
+    PathReadersPriority,
+    SemaphoreReadersPriority,
+    SerializerReadersPriority,
+    run_workload,
+)
+from repro.runtime import RandomPolicy, Scheduler, Semaphore
+from repro.verify import check_mutual_exclusion
+
+COMMON_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Scheduler invariants
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    yields=st.lists(st.integers(1, 5), min_size=1, max_size=6),
+)
+def test_scheduler_runs_everything_to_completion(seed, yields):
+    """Every spawned process finishes, under any seeded schedule."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    finished = []
+
+    def body(tag, count):
+        def run():
+            for __ in range(count):
+                yield
+            finished.append(tag)
+        return run
+
+    for index, count in enumerate(yields):
+        sched.spawn(body(index, count), name="P{}".format(index))
+    result = sched.run()
+    assert sorted(finished) == list(range(len(yields)))
+    assert not result.blocked
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_scheduler_is_deterministic_per_seed(seed):
+    """Two runs with the same seed produce identical traces."""
+
+    def execute():
+        sched = Scheduler(policy=RandomPolicy(seed))
+        log = []
+
+        def body(tag):
+            def run():
+                for __ in range(3):
+                    log.append(tag)
+                    yield
+            return run
+
+        for tag in "abc":
+            sched.spawn(body(tag), name=tag)
+        sched.run()
+        return log
+
+    assert execute() == execute()
+
+
+# ----------------------------------------------------------------------
+# Semaphore invariants
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    permits=st.integers(1, 3),
+    contenders=st.integers(2, 6),
+)
+def test_semaphore_never_exceeds_permits(seed, permits, contenders):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    sem = Semaphore(sched, initial=permits, name="s")
+    inside = {"n": 0}
+    peak = {"max": 0}
+
+    def body():
+        yield from sem.p()
+        inside["n"] += 1
+        peak["max"] = max(peak["max"], inside["n"])
+        yield
+        inside["n"] -= 1
+        sem.v()
+
+    for i in range(contenders):
+        sched.spawn(body, name="P{}".format(i))
+    sched.run()
+    assert peak["max"] <= permits
+    assert inside["n"] == 0
+
+
+# ----------------------------------------------------------------------
+# Path expression parser properties
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a", "b", "c", "d", "op1", "op2"])
+
+
+def _path_nodes(depth):
+    if depth == 0:
+        return _names.map(Name)
+    sub = _path_nodes(depth - 1)
+    return st.one_of(
+        _names.map(Name),
+        st.lists(sub, min_size=2, max_size=3).map(
+            lambda els: Sequence(tuple(els))
+        ),
+        st.lists(sub, min_size=2, max_size=3).map(
+            lambda alts: Selection(tuple(alts))
+        ),
+        sub.map(Burst),
+    )
+
+
+@COMMON_SETTINGS
+@given(node=_path_nodes(2), multiplicity=st.integers(1, 5))
+def test_parser_unparse_round_trip(node, multiplicity):
+    """parse(unparse(ast)) == ast for arbitrary ASTs (incl. numeric op)."""
+    from repro.mechanisms.pathexpr.ast import PathExpr
+
+    path = PathExpr(node, multiplicity)
+    assert parse_path(path.unparse()) == path
+
+
+@COMMON_SETTINGS
+@given(node=_path_nodes(2))
+def test_operation_names_nonempty(node):
+    from repro.mechanisms.pathexpr.ast import PathExpr
+
+    assert PathExpr(node).operation_names()
+
+
+# ----------------------------------------------------------------------
+# Readers/writers exclusion under random workloads AND schedules
+# ----------------------------------------------------------------------
+_rw_impls = st.sampled_from([
+    SemaphoreReadersPriority,
+    MonitorReadersPriority,
+    SerializerReadersPriority,
+    PathReadersPriority,
+])
+
+_plans = st.lists(
+    st.tuples(
+        st.sampled_from(["R", "W"]),
+        st.integers(0, 4),
+        st.integers(1, 3),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+@COMMON_SETTINGS
+@given(cls=_rw_impls, plan=_plans, seed=st.integers(0, 1000))
+def test_rw_exclusion_safety_is_schedule_independent(cls, plan, seed):
+    result = run_workload(
+        lambda sched: cls(sched), plan, policy=RandomPolicy(seed)
+    )
+    assert not result.deadlocked
+    assert check_mutual_exclusion(
+        result.trace, "db", exclusive_ops=["write"], shared_ops=["read"]
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Bounded buffer conservation
+# ----------------------------------------------------------------------
+_buffer_impls = st.sampled_from([
+    SemaphoreBoundedBuffer,
+    MonitorBoundedBuffer,
+    SerializerBoundedBuffer,
+    OpenPathBoundedBuffer,
+])
+
+
+@COMMON_SETTINGS
+@given(
+    cls=_buffer_impls,
+    capacity=st.integers(1, 5),
+    producers=st.integers(1, 3),
+    items_each=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_buffer_conservation(cls, capacity, producers, items_each, seed):
+    """Everything produced is consumed exactly once, never exceeding
+    capacity, under arbitrary schedules."""
+    result, produced, consumed = run_producers_consumers(
+        lambda sched: cls(sched, capacity=capacity),
+        producers=producers,
+        consumers=1,
+        items_each=items_each,
+        policy=RandomPolicy(seed),
+    )
+    assert not result.deadlocked
+    assert sorted(consumed) == sorted(produced)
+    assert len(produced) == producers * items_each
+
+
+# ----------------------------------------------------------------------
+# Oracle sanity
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(ops=st.lists(st.sampled_from(["read", "write"]), max_size=12))
+def test_serial_traces_always_pass_mutual_exclusion(ops):
+    """A fully serial trace (start immediately followed by end) can never
+    violate exclusion, whatever the op sequence."""
+    from repro.runtime.trace import Event, Trace
+
+    trace = Trace()
+    seq = 0
+    for index, op in enumerate(ops):
+        trace.append(Event(seq, 0, index, "P", "op_start", "db." + op))
+        seq += 1
+        trace.append(Event(seq, 0, index, "P", "op_end", "db." + op))
+        seq += 1
+    assert check_mutual_exclusion(trace, "db", ["write"], ["read"]) == []
+
+
+@COMMON_SETTINGS
+@given(node=_path_nodes(2), multiplicity=st.integers(1, 3))
+def test_compiled_table_covers_every_operation(node, multiplicity):
+    """The semaphore translation produces a (prologue, epilogue) pair for
+    every operation name in the path — unless a name repeats, which must
+    raise the documented compile error instead."""
+    from repro.mechanisms.pathexpr.ast import PathExpr
+    from repro.mechanisms.pathexpr.compiler import PathCompileError, PathCompiler
+
+    path = PathExpr(node, multiplicity)
+    compiler = PathCompiler(Scheduler(), "p")
+    try:
+        table = compiler.compile(path)
+    except PathCompileError:
+        return  # duplicate occurrence: correctly rejected
+    assert set(table) == path.operation_names()
+    for prologue, epilogue in table.values():
+        assert prologue.describe()
+        assert epilogue.describe()

@@ -1,0 +1,83 @@
+"""Public-API surface checks: everything advertised in ``__all__`` exists,
+and the README's import paths work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.runtime",
+    "repro.mechanisms",
+    "repro.mechanisms.pathexpr",
+    "repro.resources",
+    "repro.problems",
+    "repro.problems.registry",
+    "repro.core",
+    "repro.analysis",
+    "repro.verify",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "repro.runtime",
+        "repro.mechanisms",
+        "repro.mechanisms.pathexpr",
+        "repro.resources",
+        "repro.core",
+        "repro.analysis",
+        "repro.verify",
+    ],
+)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), "{}.{} missing".format(name, symbol)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_import_path():
+    from repro.problems.registry import build_evaluator
+
+    report = build_evaluator().evaluate(run_verifiers=False)
+    assert report.render()
+
+
+def test_mechanism_classes_importable_from_one_place():
+    from repro.mechanisms import (  # noqa: F401
+        Channel,
+        Condition,
+        Crowd,
+        EventCount,
+        GuardedPathResource,
+        Monitor,
+        PathResource,
+        ReceiveOp,
+        SendOp,
+        Sequencer,
+        Serializer,
+        SharedRegion,
+        select,
+    )
+
+
+def test_every_solution_class_declares_identity():
+    from repro.problems.registry import all_solutions
+
+    for entry in all_solutions():
+        sched_free_cls = type(entry.factory.__closure__ and None)
+        del sched_free_cls
+        assert entry.description.problem == entry.problem
+        assert entry.description.mechanism == entry.mechanism

@@ -1,0 +1,243 @@
+"""Integration tests: every readers/writers variant under every mechanism
+passes its exclusion + priority/ordering oracle battery."""
+
+import pytest
+
+from repro.problems.readers_writers import (
+    BURST_PLAN,
+    PHASED_PLAN,
+    MonitorReadersPriority,
+    MonitorRWFcfs,
+    MonitorWritersPriority,
+    PathReadersPriority,
+    PathRWFcfs,
+    PathWritersPriority,
+    SemaphoreReadersPriority,
+    SemaphoreWritersPriority,
+    SerializerReadersPriority,
+    SerializerRWFcfs,
+    SerializerWritersPriority,
+    make_verifier,
+    run_workload,
+    staggered_plan,
+)
+from repro.runtime import RandomPolicy, Scheduler
+from repro.verify import (
+    check_fcfs,
+    check_mutual_exclusion,
+    check_no_overtake,
+)
+
+READERS_PRIORITY_IMPLS = [
+    SemaphoreReadersPriority,
+    MonitorReadersPriority,
+    SerializerReadersPriority,
+    PathReadersPriority,
+]
+WRITERS_PRIORITY_IMPLS = [
+    SemaphoreWritersPriority,
+    MonitorWritersPriority,
+    SerializerWritersPriority,
+    PathWritersPriority,
+]
+FCFS_IMPLS = [MonitorRWFcfs, SerializerRWFcfs, PathRWFcfs]
+ALL_IMPLS = READERS_PRIORITY_IMPLS + WRITERS_PRIORITY_IMPLS + FCFS_IMPLS
+
+
+def impl_id(cls):
+    return "{}-{}".format(cls.mechanism, cls.problem)
+
+
+# ----------------------------------------------------------------------
+# Exclusion safety: every implementation, several plans and schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", ALL_IMPLS, ids=impl_id)
+@pytest.mark.parametrize("plan_name", ["burst", "phased", "staggered"])
+def test_exclusion_safety(cls, plan_name):
+    plan = {
+        "burst": BURST_PLAN,
+        "phased": PHASED_PLAN,
+        "staggered": staggered_plan(11),
+    }[plan_name]
+    result = run_workload(lambda sched: cls(sched), plan)
+    assert not result.deadlocked, result.blocked
+    assert check_mutual_exclusion(
+        result.trace, "db", exclusive_ops=["write"], shared_ops=["read"]
+    ) == []
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLS, ids=impl_id)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_exclusion_safety_random_schedules(cls, seed):
+    result = run_workload(
+        lambda sched: cls(sched), BURST_PLAN, policy=RandomPolicy(seed)
+    )
+    assert not result.deadlocked, result.blocked
+    assert check_mutual_exclusion(
+        result.trace, "db", exclusive_ops=["write"], shared_ops=["read"]
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Priority / ordering oracles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", READERS_PRIORITY_IMPLS, ids=impl_id)
+def test_readers_priority_no_overtake(cls):
+    for plan in (BURST_PLAN, PHASED_PLAN, staggered_plan(5)):
+        result = run_workload(lambda sched: cls(sched), plan)
+        assert check_no_overtake(result.trace, "db", "read", "write") == []
+
+
+@pytest.mark.parametrize("cls", WRITERS_PRIORITY_IMPLS, ids=impl_id)
+def test_writers_priority_no_overtake(cls):
+    for plan in (BURST_PLAN, PHASED_PLAN, staggered_plan(5)):
+        result = run_workload(lambda sched: cls(sched), plan)
+        assert check_no_overtake(result.trace, "db", "write", "read") == []
+
+
+@pytest.mark.parametrize("cls", FCFS_IMPLS, ids=impl_id)
+def test_fcfs_order(cls):
+    for plan in (BURST_PLAN, PHASED_PLAN, staggered_plan(5)):
+        result = run_workload(lambda sched: cls(sched), plan)
+        assert check_fcfs(result.trace, "db", ["read", "write"]) == []
+
+
+# ----------------------------------------------------------------------
+# Behavioural specifics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "cls",
+    [
+        SemaphoreReadersPriority,
+        MonitorReadersPriority,
+        SerializerReadersPriority,
+        PathReadersPriority,
+    ],
+    ids=impl_id,
+)
+def test_readers_actually_share(cls):
+    """Two readers with long critical sections must overlap."""
+    sched = Scheduler()
+    impl = cls(sched)
+    active = {"n": 0}
+    peak = {"max": 0}
+
+    def reader():
+        yield from impl.read(work=0)
+
+    # Use the trace to detect overlap instead of instrumenting read bodies.
+    def long_reader(name):
+        def body():
+            yield from impl.read(work=4)
+        return body
+
+    sched.spawn(long_reader("a"), name="Ra")
+    sched.spawn(long_reader("b"), name="Rb")
+    result = sched.run()
+    starts = [ev for ev in result.trace if ev.kind == "op_start" and ev.obj == "db.read"]
+    ends = [ev for ev in result.trace if ev.kind == "op_end" and ev.obj == "db.read"]
+    assert len(starts) == 2
+    # Overlap: the second start happens before the first end.
+    assert starts[1].seq < ends[0].seq, "readers did not share the resource"
+    del active, peak, reader
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLS, ids=impl_id)
+def test_reads_return_written_values(cls):
+    """Data integrity: each read returns the latest committed write."""
+    sched = Scheduler()
+    impl = cls(sched)
+    observed = []
+
+    def writer():
+        yield from impl.write(7, work=1)
+
+    def reader():
+        yield from sched.sleep(3)
+        value = yield from impl.read(work=1)
+        observed.append(value)
+
+    sched.spawn(writer, name="W")
+    sched.spawn(reader, name="R")
+    sched.run()
+    assert observed == [7]
+
+
+def test_path_fcfs_is_serial_by_construction():
+    """The honest base-path FCFS solution gives up reader concurrency —
+    the documented degradation (§4.2)."""
+    sched = Scheduler()
+    impl = PathRWFcfs(sched)
+
+    def reader(name):
+        def body():
+            yield from impl.read(work=4)
+        return body
+
+    sched.spawn(reader("a"), name="Ra")
+    sched.spawn(reader("b"), name="Rb")
+    result = sched.run()
+    starts = [ev for ev in result.trace if ev.kind == "op_start" and ev.obj == "db.read"]
+    ends = [ev for ev in result.trace if ev.kind == "op_end" and ev.obj == "db.read"]
+    assert starts[1].seq > ends[0].seq, "admission gate should serialize"
+
+
+@pytest.mark.parametrize(
+    "problem,cls",
+    [
+        ("readers_priority", MonitorReadersPriority),
+        ("writers_priority", MonitorWritersPriority),
+        ("rw_fcfs", MonitorRWFcfs),
+        ("readers_priority", SerializerReadersPriority),
+        ("readers_priority", PathReadersPriority),
+        ("writers_priority", PathWritersPriority),
+    ],
+)
+def test_make_verifier_passes_for_correct_solutions(problem, cls):
+    verifier = make_verifier(lambda sched: cls(sched), problem)
+    assert verifier() == []
+
+
+def test_make_verifier_catches_broken_solution():
+    """A deliberately broken 'solution' (no synchronization at all) must be
+    caught by the battery."""
+
+    class Broken(SemaphoreReadersPriority):
+        def write(self, value, work=1):
+            self._request("write")
+            self._start("write")
+            yield from self.db.write(value)
+            yield from self._work(work)
+            self._finish("write")
+
+    verifier = make_verifier(lambda sched: Broken(sched), "readers_priority")
+    assert verifier() != []
+
+
+def test_writers_priority_blocks_new_readers():
+    """While writers are waiting, an arriving reader must not slip in
+    (writers-priority semantics), for every mechanism."""
+    for cls in WRITERS_PRIORITY_IMPLS:
+        sched = Scheduler()
+        impl = cls(sched)
+        order = []
+
+        def early_reader():
+            value = yield from impl.read(work=6)
+            order.append("R1")
+
+        def writer():
+            yield from sched.sleep(1)
+            yield from impl.write(1, work=1)
+            order.append("W")
+
+        def late_reader():
+            yield from sched.sleep(2)
+            yield from impl.read(work=1)
+            order.append("R2")
+
+        sched.spawn(early_reader, name="R1")
+        sched.spawn(writer, name="W")
+        sched.spawn(late_reader, name="R2")
+        sched.run()
+        assert order.index("W") < order.index("R2"), cls.__name__

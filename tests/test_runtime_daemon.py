@@ -1,0 +1,108 @@
+"""Tests for daemon processes: run termination, blocked reporting, and
+interaction with timers and deadlock detection."""
+
+import pytest
+
+from repro.mechanisms import Channel
+from repro.runtime import DeadlockError, Scheduler
+
+
+def test_run_ends_when_only_daemons_remain():
+    sched = Scheduler()
+    served = []
+
+    def server():
+        while True:
+            served.append(len(served))
+            yield
+
+    def client():
+        yield
+        yield
+
+    sched.spawn(server, name="srv", daemon=True)
+    sched.spawn(client, name="cli")
+    result = sched.run()
+    assert result.blocked == []
+    assert served  # the daemon did run while the client was alive
+
+
+def test_blocked_daemon_is_not_a_deadlock():
+    sched = Scheduler()
+    chan = Channel(sched, "c")
+
+    def server():
+        while True:
+            yield from chan.receive()
+
+    def client():
+        yield from chan.send(1)
+
+    sched.spawn(server, name="srv", daemon=True)
+    sched.spawn(client, name="cli")
+    result = sched.run()  # must not raise DeadlockError
+    assert result.blocked == []
+
+
+def test_blocked_nondaemon_still_deadlocks():
+    sched = Scheduler()
+    chan = Channel(sched, "c")
+
+    def server():
+        while True:
+            yield from chan.receive()
+
+    def lonely():
+        other = Channel(sched, "other")
+        yield from other.receive()  # nobody will ever send
+
+    sched.spawn(server, name="srv", daemon=True)
+    sched.spawn(lonely, name="lonely")
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_daemon_flag_on_process():
+    sched = Scheduler()
+
+    def body():
+        yield
+
+    daemon = sched.spawn(body, name="d", daemon=True)
+    normal = sched.spawn(body, name="n")
+    assert daemon.daemon is True
+    assert normal.daemon is False
+    sched.run()
+
+
+def test_pure_daemon_run_ends_immediately():
+    sched = Scheduler()
+    ticks = []
+
+    def server():
+        while True:
+            ticks.append(1)
+            yield
+
+    sched.spawn(server, name="srv", daemon=True)
+    result = sched.run()
+    assert result.steps == 0
+    assert ticks == []
+
+
+def test_daemon_with_timer_does_not_stall_run():
+    """A sleeping daemon must not keep advancing virtual time after every
+    non-daemon finished."""
+    sched = Scheduler()
+
+    def ticker():
+        while True:
+            yield from sched.sleep(1)
+
+    def client():
+        yield from sched.sleep(2)
+
+    sched.spawn(ticker, name="tick", daemon=True)
+    sched.spawn(client, name="cli")
+    result = sched.run()
+    assert result.time <= 3

@@ -1,0 +1,321 @@
+"""Unit tests for semaphores, mutexes, and events: counting behaviour, FIFO
+handoff, wake-policy ablation knob, and protocol-violation errors."""
+
+import pytest
+
+from repro.runtime import (
+    BroadcastEvent,
+    IllegalOperationError,
+    Mutex,
+    ProcessFailed,
+    Scheduler,
+    Semaphore,
+)
+
+
+def make_sched():
+    return Scheduler()
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+def test_semaphore_initial_value_allows_that_many():
+    sched = make_sched()
+    sem = Semaphore(sched, initial=2, name="s")
+    inside = []
+
+    def body(tag):
+        yield from sem.p()
+        inside.append(tag)
+        yield  # hold the permit forever
+
+    for tag in "abc":
+        sched.spawn(body, tag, name=tag)
+    result = sched.run(on_deadlock="return")
+    assert inside == ["a", "b"]
+    assert result.blocked == ["c"]
+
+
+def test_semaphore_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(make_sched(), initial=-1)
+
+
+def test_semaphore_v_wakes_fifo():
+    sched = make_sched()
+    sem = Semaphore(sched, initial=0, name="s")
+    woken = []
+
+    def waiter(tag):
+        yield from sem.p()
+        woken.append(tag)
+
+    def signaller():
+        yield  # let the waiters enqueue
+        sem.v()
+        sem.v()
+        sem.v()
+
+    for tag in "abc":
+        sched.spawn(waiter, tag, name=tag)
+    sched.spawn(signaller, name="sig")
+    sched.run()
+    assert woken == ["a", "b", "c"]
+
+
+def test_semaphore_lifo_wake_policy():
+    sched = make_sched()
+    sem = Semaphore(sched, initial=0, name="s", wake_policy="lifo")
+    woken = []
+
+    def waiter(tag):
+        yield from sem.p()
+        woken.append(tag)
+
+    def signaller():
+        yield
+        for _ in range(3):
+            sem.v()
+
+    for tag in "abc":
+        sched.spawn(waiter, tag, name=tag)
+    sched.spawn(signaller, name="sig")
+    sched.run()
+    assert woken == ["c", "b", "a"]
+
+
+def test_semaphore_random_wake_policy_deterministic_per_seed():
+    def run(seed):
+        sched = make_sched()
+        sem = Semaphore(sched, initial=0, wake_policy="random", seed=seed)
+        woken = []
+
+        def waiter(tag):
+            yield from sem.p()
+            woken.append(tag)
+
+        def signaller():
+            yield
+            for _ in range(4):
+                sem.v()
+
+        for tag in "abcd":
+            sched.spawn(waiter, tag, name=tag)
+        sched.spawn(signaller, name="sig")
+        sched.run()
+        return woken
+
+    assert run(3) == run(3)
+
+
+def test_semaphore_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(make_sched(), wake_policy="mystery")
+
+
+def test_semaphore_no_barging_past_queue():
+    """A process arriving while others wait must queue even if a V happens:
+    the permit is handed to the head of the queue, not to the newcomer."""
+    sched = make_sched()
+    sem = Semaphore(sched, initial=0, name="s")
+    order = []
+
+    def early():
+        yield from sem.p()
+        order.append("early")
+
+    def releaser():
+        yield
+        sem.v()  # hands off directly to `early`
+        yield from sem.p()  # must wait for another V
+        order.append("releaser")
+
+    def second_v():
+        yield
+        yield
+        yield
+        sem.v()
+
+    sched.spawn(early, name="early")
+    sched.spawn(releaser, name="releaser")
+    sched.spawn(second_v, name="second")
+    sched.run()
+    assert order == ["early", "releaser"]
+
+
+def test_semaphore_try_p():
+    sched = make_sched()
+    sem = Semaphore(sched, initial=1)
+    assert sem.try_p() is True
+    assert sem.try_p() is False
+    sem._value = 1  # restore for value check
+    assert sem.value == 1
+
+
+def test_semaphore_value_and_waiters_properties():
+    sched = make_sched()
+    sem = Semaphore(sched, initial=0, name="s")
+
+    def waiter():
+        yield from sem.p()
+
+    def checker(holder):
+        yield
+        holder.append((sem.value, sem.waiters))
+        sem.v()
+
+    observed = []
+    sched.spawn(waiter, name="w")
+    sched.spawn(checker, observed, name="c")
+    sched.run()
+    assert observed == [(0, 1)]
+
+
+# ----------------------------------------------------------------------
+# Mutex
+# ----------------------------------------------------------------------
+def test_mutex_mutual_exclusion():
+    sched = make_sched()
+    lock = Mutex(sched, "m")
+    active = []
+    max_active = []
+
+    def body(tag):
+        yield from lock.acquire()
+        active.append(tag)
+        max_active.append(len(active))
+        yield
+        active.remove(tag)
+        lock.release()
+
+    for tag in "abcd":
+        sched.spawn(body, tag, name=tag)
+    sched.run()
+    assert max(max_active) == 1
+
+
+def test_mutex_release_by_nonholder_raises():
+    sched = make_sched()
+    lock = Mutex(sched, "m")
+
+    def holder():
+        yield from lock.acquire()
+        yield
+        yield
+        lock.release()
+
+    def thief():
+        yield
+        lock.release()
+
+    sched.spawn(holder, name="holder")
+    sched.spawn(thief, name="thief")
+    with pytest.raises(ProcessFailed) as err:
+        sched.run()
+    assert isinstance(err.value.__cause__, IllegalOperationError)
+
+
+def test_mutex_reentrant_acquire_raises():
+    sched = make_sched()
+    lock = Mutex(sched, "m")
+
+    def body():
+        yield from lock.acquire()
+        yield from lock.acquire()
+
+    sched.spawn(body, name="re")
+    with pytest.raises(ProcessFailed) as err:
+        sched.run()
+    assert isinstance(err.value.__cause__, IllegalOperationError)
+
+
+def test_mutex_handoff_is_fifo():
+    sched = make_sched()
+    lock = Mutex(sched, "m")
+    order = []
+
+    def body(tag):
+        yield from lock.acquire()
+        order.append(tag)
+        yield
+        lock.release()
+
+    for tag in "abc":
+        sched.spawn(body, tag, name=tag)
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_mutex_holder_name_tracking():
+    sched = make_sched()
+    lock = Mutex(sched, "m")
+    seen = []
+
+    def body():
+        yield from lock.acquire()
+        seen.append(lock.holder_name)
+        lock.release()
+        seen.append(lock.held)
+
+    sched.spawn(body, name="owner")
+    sched.run()
+    assert seen == ["owner", False]
+
+
+# ----------------------------------------------------------------------
+# BroadcastEvent
+# ----------------------------------------------------------------------
+def test_event_wakes_all_waiters():
+    sched = make_sched()
+    event = BroadcastEvent(sched, "e")
+    woken = []
+
+    def waiter(tag):
+        yield from event.wait()
+        woken.append(tag)
+
+    def setter():
+        yield
+        event.set()
+
+    for tag in "abc":
+        sched.spawn(waiter, tag, name=tag)
+    sched.spawn(setter, name="setter")
+    sched.run()
+    assert woken == ["a", "b", "c"]
+    assert event.is_set
+
+
+def test_event_wait_after_set_is_immediate():
+    sched = make_sched()
+    event = BroadcastEvent(sched, "e")
+    woken = []
+
+    def setter():
+        event.set()
+        yield
+
+    def late_waiter():
+        yield
+        yield from event.wait()
+        woken.append("late")
+
+    sched.spawn(setter, name="setter")
+    sched.spawn(late_waiter, name="late")
+    sched.run()
+    assert woken == ["late"]
+
+
+def test_event_double_set_is_idempotent():
+    sched = make_sched()
+    event = BroadcastEvent(sched, "e")
+
+    def setter():
+        event.set()
+        event.set()
+        yield
+
+    sched.spawn(setter)
+    sched.run()
+    assert event.is_set

@@ -1,0 +1,234 @@
+"""Tests for the later-version serializer queue extensions (§5.2: "local
+variables and priority queues had to be added later"): rank-ordered queues
+and guarantee-order queues."""
+
+from repro.mechanisms import Serializer
+from repro.mechanisms.serializer import (
+    GuaranteeOrderQueue,
+    SerializerPriorityQueue,
+)
+from repro.runtime import Scheduler
+
+
+def make(sched=None):
+    sched = sched or Scheduler()
+    return sched, Serializer(sched, "s")
+
+
+# ----------------------------------------------------------------------
+# SerializerPriorityQueue
+# ----------------------------------------------------------------------
+def test_priority_queue_releases_smallest_rank_first():
+    sched, ser = make()
+    pq = ser.priority_queue("pq")
+    gate = {"open": False}
+    order = []
+
+    def proc(tag, rank):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(pq, lambda: gate["open"], priority=rank)
+            order.append(tag)
+            ser.exit()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield
+        yield from ser.enter()
+        gate["open"] = True
+        ser.exit()
+
+    sched.spawn(proc("late", 30), name="L")
+    sched.spawn(proc("early", 10), name="E")
+    sched.spawn(proc("mid", 20), name="M")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_priority_queue_ties_break_by_arrival():
+    sched, ser = make()
+    pq = ser.priority_queue("pq")
+    gate = {"open": False}
+    order = []
+
+    def proc(tag):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(pq, lambda: gate["open"], priority=5)
+            order.append(tag)
+            ser.exit()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield from ser.enter()
+        gate["open"] = True
+        ser.exit()
+
+    sched.spawn(proc("first"), name="F")
+    sched.spawn(proc("second"), name="S")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["first", "second"]
+
+
+def test_priority_queue_head_priority():
+    sched, ser = make()
+    pq = ser.priority_queue("pq")
+    observed = []
+
+    def waiter(rank):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(pq, lambda: observed, priority=rank)
+            ser.exit()
+        return body
+
+    def checker():
+        yield
+        yield
+        observed.append(pq.head_priority())
+        yield from ser.enter()
+        ser.exit()
+
+    sched.spawn(waiter(42), name="A")
+    sched.spawn(waiter(7), name="B")
+    sched.spawn(checker, name="C")
+    result = sched.run(on_deadlock="return")
+    assert observed[0] == 7
+    del result
+
+
+def test_priority_queue_head_blocks_lower_ranks():
+    """Only the best-ranked waiter is eligible: a false guarantee at the
+    head holds back everything behind it (deadline semantics)."""
+    sched, ser = make()
+    pq = ser.priority_queue("pq")
+    state = {"now": 0}
+    order = []
+
+    def sleeper(deadline):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(
+                pq, lambda: state["now"] >= deadline, priority=deadline
+            )
+            order.append(deadline)
+            ser.exit()
+        return body
+
+    def ticker():
+        for __ in range(4):
+            yield
+            yield from ser.enter()
+            state["now"] += 1
+            ser.exit()
+
+    sched.spawn(sleeper(3), name="S3")
+    sched.spawn(sleeper(1), name="S1")
+    sched.spawn(ticker, name="T")
+    sched.run()
+    assert order == [1, 3]
+
+
+# ----------------------------------------------------------------------
+# GuaranteeOrderQueue
+# ----------------------------------------------------------------------
+def test_guarantee_order_queue_skips_blocked_head():
+    """Unlike a plain FIFO queue, an eligible waiter behind an ineligible
+    head gets released."""
+    sched, ser = make()
+    q = ser.guarantee_order_queue("q")
+    flags = {"a": False, "b": True}
+    order = []
+
+    def proc(tag):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(q, lambda: flags[tag])
+            order.append(tag)
+            ser.exit()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield
+        yield from ser.enter()
+        flags["a"] = True
+        ser.exit()
+
+    sched.spawn(proc("a"), name="A")   # arrives first, guard false
+    sched.spawn(proc("b"), name="B")   # arrives second, guard true
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["b", "a"]
+
+
+def test_guarantee_order_queue_prefers_arrival_among_eligible():
+    sched, ser = make()
+    q = ser.guarantee_order_queue("q")
+    gate = {"open": False}
+    order = []
+
+    def proc(tag):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(q, lambda: gate["open"])
+            order.append(tag)
+            ser.exit()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield from ser.enter()
+        gate["open"] = True
+        ser.exit()
+
+    sched.spawn(proc("x"), name="X")
+    sched.spawn(proc("y"), name="Y")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["x", "y"]
+
+
+def test_queue_types_coexist_with_declaration_priority():
+    """A priority queue declared before a plain queue still outranks it in
+    dispatch."""
+    sched, ser = make()
+    pq = ser.priority_queue("pq")
+    plain = ser.queue("plain")
+    gate = {"open": False}
+    order = []
+
+    def via(queue, tag, rank=0):
+        def body():
+            yield from ser.enter()
+            yield from ser.enqueue(queue, lambda: gate["open"], priority=rank)
+            order.append(tag)
+            ser.exit()
+        return body
+
+    def opener():
+        yield
+        yield
+        yield from ser.enter()
+        gate["open"] = True
+        ser.exit()
+
+    sched.spawn(via(plain, "plain"), name="P")
+    sched.spawn(via(pq, "ranked", rank=1), name="R")
+    sched.spawn(opener, name="O")
+    sched.run()
+    assert order == ["ranked", "plain"]
+
+
+def test_queue_classes_exposed():
+    __, ser = make()
+    assert isinstance(ser.priority_queue("a"), SerializerPriorityQueue)
+    assert isinstance(ser.guarantee_order_queue("b"), GuaranteeOrderQueue)
