@@ -11,6 +11,9 @@ Commands:
 * ``list``          — every registered solution.
 * ``timeline``      — render one solution's schedule as an ASCII Gantt
   chart (``--problem``/``--mechanism`` select the solution).
+* ``robustness``    — chaos-explore every mechanism (kill a process at
+  every reachable fault point across schedules) and print the
+  fault-containment table.  ``--fast`` trims the schedule budget.
 """
 
 from __future__ import annotations
@@ -117,6 +120,26 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .verify.chaos import expected_classifications, robustness_report
+
+    results, table = robustness_report(fast=args.fast)
+    print(table)
+    expected = expected_classifications()
+    surprises = [
+        "{}: got {}, fault model predicts {}".format(
+            r.name, r.classification, expected[r.name]
+        )
+        for r in results
+        if r.classification != expected[r.name]
+    ]
+    if surprises:
+        print("\nUNEXPECTED:", *surprises, sep="\n  ")
+        return 1
+    print("\nall classifications match the fault model (DESIGN.md)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -153,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--mechanism", default="monitor")
     p_tl.add_argument("--width", type=int, default=72)
     p_tl.set_defaults(func=_cmd_timeline)
+
+    p_rob = sub.add_parser(
+        "robustness", help="fault-containment table for every mechanism"
+    )
+    p_rob.add_argument("--fast", action="store_true",
+                       help="trim the per-fault-point schedule budget")
+    p_rob.set_defaults(func=_cmd_robustness)
 
     return parser
 

@@ -23,14 +23,26 @@ commands.
 Synchronization schemes in this model are *server processes*: clients send
 requests (parameters ride in the message — T3 is trivially accessible) and
 the server's select loop encodes the constraints.
+
+Crash semantics (DESIGN.md "Fault model"): channels are **fault-
+propagating**, in the Erlang-link tradition.  Every process that touches a
+channel becomes a *user*; when a user dies abnormally the channel *breaks*:
+every parked counterpart is woken with :class:`PeerFailed`, and later
+operations raise it immediately.  A rendezvous partner cannot silently wait
+forever for a dead peer — the failure travels.  Construct with
+``peer_fault="ignore"`` for bare CSP semantics (survivors block forever;
+the deadlock detector's wait-for graph then names the dead peer instead).
+Timed variants: ``send``/``receive``/``select`` accept ``timeout=`` and
+raise :class:`WaitTimeout` after withdrawing their offers.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence, Union
+from typing import Any, Generator, List, Optional, Sequence, Set, Union
 
-from ..runtime.errors import IllegalOperationError
-from ..runtime.process import SimProcess
+from ..runtime.errors import IllegalOperationError, PeerFailed
+from ..runtime.faults import deliver
+from ..runtime.process import ProcessState, SimProcess
 from ..runtime.scheduler import Scheduler
 
 
@@ -68,18 +80,30 @@ class Channel:
     ``capacity > 0`` (asynchronous mailbox): ``send`` completes immediately
     while the buffer has room and blocks only when full; ``receive`` drains
     the buffer in FIFO order.  All queues are FIFO.
+
+    ``peer_fault`` selects the crash semantics: ``"break"`` (default)
+    propagates a user's abnormal death to its partners as
+    :class:`PeerFailed`; ``"ignore"`` keeps bare CSP semantics where a dead
+    peer simply never communicates.
     """
 
     def __init__(self, sched: Scheduler, name: str = "chan",
-                 capacity: int = 0) -> None:
+                 capacity: int = 0, peer_fault: str = "break") -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
+        if peer_fault not in ("break", "ignore"):
+            raise ValueError("unknown peer_fault {!r}".format(peer_fault))
         self._sched = sched
         self.name = name
         self.capacity = capacity
+        self.peer_fault = peer_fault
+        self._label = "channel {}".format(name)
         self._buffer: List[Any] = []
         self._senders: List[_Offer] = []
         self._receivers: List[_Offer] = []
+        self._users: Set[int] = set()  # pids that ever touched the channel
+        self.broken = False
+        self.broken_by: Optional[str] = None
 
     @property
     def buffered(self) -> int:
@@ -88,6 +112,61 @@ class Channel:
 
     def _has_space(self) -> bool:
         return len(self._buffer) < self.capacity
+
+    # ------------------------------------------------------------------
+    # Peer-failure propagation
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        """Record the current process as a channel user; its abnormal death
+        will break the channel (``peer_fault="break"`` only)."""
+        if self.peer_fault != "break":
+            return
+        me = self._sched.current
+        if me is None or me.pid in self._users:
+            return
+        self._users.add(me.pid)
+        # Death-only cleanup, never unregistered: it fires solely on
+        # abnormal termination, where "user died" is exactly the trigger.
+        self._sched.register_cleanup(
+            ("chan_user", id(self)), self._on_user_death, proc=me
+        )
+
+    def link(self, proc: SimProcess) -> None:
+        """Explicitly register ``proc`` as a channel user (Erlang's
+        ``spawn_link``): its abnormal death breaks the channel even if it
+        dies *before* its first send/receive — which implicit attachment on
+        first touch cannot see.  No-op under ``peer_fault="ignore"``."""
+        if self.peer_fault != "break" or proc.pid in self._users:
+            return
+        self._users.add(proc.pid)
+        self._sched.register_cleanup(
+            ("chan_user", id(self)), self._on_user_death, proc=proc
+        )
+
+    def _on_user_death(self, proc: SimProcess) -> None:
+        """Break the channel: fail every parked counterpart with
+        :class:`PeerFailed` so nobody rendezvouses with the dead."""
+        if self.broken:
+            return
+        self.broken = True
+        self.broken_by = proc.name
+        self._sched.log("chan_break", self.name, proc.name, proc=proc)
+        for offer in self._senders + self._receivers:
+            if not offer.claimable() or offer.proc is proc:
+                continue
+            if offer.proc.state is not ProcessState.BLOCKED:
+                continue
+            if offer.group is not None:
+                offer.group.resolved = True
+            self._sched.unpark(
+                offer.proc, deliver(PeerFailed(self.name, proc.name))
+            )
+        self._senders.clear()
+        self._receivers.clear()
+
+    def _check_broken(self) -> None:
+        if self.broken:
+            raise PeerFailed(self.name, self.broken_by or "?")
 
     # ------------------------------------------------------------------
     def _first_claimable(self, offers: List[_Offer]) -> Optional[_Offer]:
@@ -100,6 +179,13 @@ class Channel:
         self._senders = [o for o in self._senders if o.claimable()]
         self._receivers = [o for o in self._receivers if o.claimable()]
 
+    def _withdraw(self, offer: _Offer) -> None:
+        """Remove a timed-out offer so no later match targets a quitter."""
+        if offer in self._senders:
+            self._senders.remove(offer)
+        if offer in self._receivers:
+            self._receivers.remove(offer)
+
     @property
     def senders_waiting(self) -> int:
         """Parked senders (live offers only)."""
@@ -111,9 +197,14 @@ class Channel:
         return sum(1 for o in self._receivers if o.claimable())
 
     # ------------------------------------------------------------------
-    def send(self, value: Any) -> Generator:
+    def send(self, value: Any, timeout: Optional[int] = None) -> Generator:
         """Offer ``value``; returns once a receiver has taken it (rendezvous)
-        or once it is buffered (buffered channel with room)."""
+        or once it is buffered (buffered channel with room).
+
+        ``timeout`` bounds the wait in virtual time; expiry withdraws the
+        offer and raises :class:`WaitTimeout`."""
+        self._check_broken()
+        self._attach()
         self._discard_dead()
         match = self._first_claimable(self._receivers)
         if match is not None:
@@ -125,12 +216,23 @@ class Channel:
             self._sched.log("send", self.name, value)
             return
         me = self._sched.current
-        self._senders.append(_Offer(me, "send", value, None, 0))
-        yield from self._sched.park("send({})".format(self.name), self.name)
+        offer = _Offer(me, "send", value, None, 0)
+        self._senders.append(offer)
+        yield from self._sched.park(
+            "send({})".format(self.name), self.name,
+            timeout=timeout,
+            on_timeout=lambda: self._withdraw(offer),
+            resource=self._label,
+        )
         self._sched.log("send", self.name, value)
 
-    def receive(self) -> Generator:
-        """Take the next value; returns it."""
+    def receive(self, timeout: Optional[int] = None) -> Generator:
+        """Take the next value; returns it.
+
+        ``timeout`` bounds the wait in virtual time; expiry withdraws the
+        offer and raises :class:`WaitTimeout`."""
+        self._check_broken()
+        self._attach()
         self._discard_dead()
         if self._buffer:
             value = self._buffer.pop(0)
@@ -144,9 +246,13 @@ class Channel:
             self._sched.log("recv", self.name, value)
             return value
         me = self._sched.current
-        self._receivers.append(_Offer(me, "recv", None, None, 0))
+        offer = _Offer(me, "recv", None, None, 0)
+        self._receivers.append(offer)
         value = yield from self._sched.park(
-            "recv({})".format(self.name), self.name
+            "recv({})".format(self.name), self.name,
+            timeout=timeout,
+            on_timeout=lambda: self._withdraw(offer),
+            resource=self._label,
         )
         self._sched.log("recv", self.name, value)
         return value
@@ -200,7 +306,11 @@ class ReceiveOp:
 SelectArm = Union[SendOp, ReceiveOp]
 
 
-def select(sched: Scheduler, arms: Sequence[SelectArm]) -> Generator:
+def select(
+    sched: Scheduler,
+    arms: Sequence[SelectArm],
+    timeout: Optional[int] = None,
+) -> Generator:
     """Guarded alternative: wait until one enabled arm can communicate.
 
     Returns ``(index, value)`` — ``value`` is the received message for a
@@ -208,6 +318,10 @@ def select(sched: Scheduler, arms: Sequence[SelectArm]) -> Generator:
     are evaluated once, on entry (re-issue the select to re-evaluate, as a
     CSP repetitive command would).  Raises if every guard is false — the
     guarded-command failure case.
+
+    ``timeout`` bounds the wait in virtual time; expiry withdraws every
+    parked arm and raises :class:`WaitTimeout`.  An enabled arm on a broken
+    channel raises :class:`PeerFailed` immediately.
     """
     enabled = [(i, arm) for i, arm in enumerate(arms) if arm.guard]
     if not enabled:
@@ -216,6 +330,8 @@ def select(sched: Scheduler, arms: Sequence[SelectArm]) -> Generator:
     # (buffered content / space counts as communicable).
     for index, arm in enabled:
         chan = arm.channel
+        chan._check_broken()
+        chan._attach()
         chan._discard_dead()
         if isinstance(arm, ReceiveOp):
             if chan._buffer:
@@ -254,7 +370,14 @@ def select(sched: Scheduler, arms: Sequence[SelectArm]) -> Generator:
             arm.channel._receivers.append(offer)
         else:
             arm.channel._senders.append(offer)
-    result = yield from sched.park("select", "select")
+    result = yield from sched.park(
+        "select", "select",
+        timeout=timeout,
+        # Marking the group resolved withdraws every arm at once: stale
+        # offers stop being claimable and are lazily discarded.
+        on_timeout=lambda: setattr(group, "resolved", True),
+        resource="select",
+    )
     index, value = result
     arm = arms[index]
     sched.log(

@@ -19,13 +19,21 @@ paper, with:
 Monitor procedures are written as generator functions bracketed by
 ``yield from mon.enter()`` / ``mon.exit()``; the :meth:`Monitor.procedure`
 helper removes the boilerplate.
+
+Crash semantics (DESIGN.md "Fault model"): the monitor is **fault-
+containing**.  A dead occupant releases possession to the next rightful
+process; dead entry, urgent, or condition waiters are dequeued.  Timed
+variants: ``enter(timeout=...)`` gives up from the entry queue;
+``wait(timeout=...)`` re-enters the monitor through the entry queue and
+*then* raises :class:`WaitTimeout` — so the caller always owns the monitor
+when the timeout surfaces, and must still exit it.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional, Set, Tuple
 
-from ..runtime.errors import IllegalOperationError
+from ..runtime.errors import IllegalOperationError, WaitTimeout
 from ..runtime.process import SimProcess
 from ..runtime.scheduler import Scheduler
 
@@ -55,6 +63,10 @@ class Monitor:
         self._sched = sched
         self.name = name
         self.signal_semantics = signal_semantics
+        self._label = "monitor {}".format(name)
+        self._active_key = ("mon_active", id(self))
+        self._entry_key = ("mon_entry", id(self))
+        self._urgent_key = ("mon_urgent", id(self))
         self._active: Optional[SimProcess] = None
         self._entry: List[SimProcess] = []
         self._urgent: List[SimProcess] = []  # LIFO stack of signallers
@@ -85,8 +97,11 @@ class Monitor:
     # ------------------------------------------------------------------
     # Possession transfer
     # ------------------------------------------------------------------
-    def enter(self) -> Generator:
-        """Gain exclusive possession of the monitor (FIFO entry queue)."""
+    def enter(self, timeout: Optional[int] = None) -> Generator:
+        """Gain exclusive possession of the monitor (FIFO entry queue).
+
+        ``timeout`` bounds the entry wait in virtual time; expiry leaves the
+        queue and raises :class:`WaitTimeout`."""
         yield from self._sched.checkpoint()
         me = self._sched.current
         if self._active is me:
@@ -94,18 +109,43 @@ class Monitor:
                 "{} re-entered monitor {}".format(me.name, self.name)
             )
         if self._active is None and not self._entry and not self._urgent:
-            self._active = me
+            self._set_active(me)
             self._sched.log("enter", self.name)
             return
         self._entry.append(me)
-        yield from self._sched.park("enter({})".format(self.name), self.name)
+        self._sched.register_cleanup(self._entry_key, self._on_entry_death)
+        try:
+            yield from self._sched.park(
+                "enter({})".format(self.name), self.name,
+                timeout=timeout,
+                on_timeout=lambda: self._discard_entry(me),
+                resource=self._label,
+            )
+        finally:
+            self._sched.unregister_cleanup(self._entry_key, me)
         self._sched.log("enter", self.name, "handoff")
 
     def exit(self) -> None:
         """Release the monitor; wakes the urgent stack first, then entry."""
-        self._require_active("exit")
+        me = self._require_active("exit")
         self._sched.log("leave", self.name)
+        self._release_possession(me)
         self._pass_possession()
+
+    # ------------------------------------------------------------------
+    # Possession bookkeeping (crash semantics live here)
+    # ------------------------------------------------------------------
+    def _set_active(self, proc: SimProcess) -> None:
+        self._active = proc
+        self._sched.note_hold(self._label, proc)
+        self._sched.register_cleanup(
+            self._active_key, self._on_active_death, proc=proc
+        )
+
+    def _release_possession(self, proc: SimProcess) -> None:
+        self._sched.unregister_cleanup(self._active_key, proc)
+        self._sched.note_release(self._label, proc)
+        self._active = None
 
     def _pass_possession(self) -> None:
         """Hand the monitor to the next rightful process, if any."""
@@ -114,10 +154,29 @@ class Monitor:
         elif self._entry:
             nxt = self._entry.pop(0)
         else:
-            self._active = None
             return
-        self._active = nxt
+        self._set_active(nxt)
         self._sched.unpark(nxt)
+
+    def _discard_entry(self, proc: SimProcess) -> None:
+        if proc in self._entry:
+            self._entry.remove(proc)
+
+    def _on_entry_death(self, proc: SimProcess) -> None:
+        self._discard_entry(proc)
+
+    def _on_urgent_death(self, proc: SimProcess) -> None:
+        if proc in self._urgent:
+            self._urgent.remove(proc)
+
+    def _on_active_death(self, proc: SimProcess) -> None:
+        """A dead occupant releases the monitor — survivors proceed."""
+        if self._active is not proc:
+            return
+        self._sched.log("leave", self.name, "crash_release", proc=proc)
+        self._sched.note_release(self._label, proc)
+        self._active = None
+        self._pass_possession()
 
     # ------------------------------------------------------------------
     # Conditions
@@ -152,8 +211,11 @@ class Condition:
         self._monitor = monitor
         self._sched = monitor._sched
         self.name = name
+        self._label = "condition {}.{}".format(monitor.name, name)
+        self._wait_key = ("cond_wait", id(self))
         # Each entry: (priority, enqueue_seq, process).
         self._waiters: List[Tuple[int, int, SimProcess]] = []
+        self._timed_out: Set[int] = set()  # pids granted re-entry by timeout
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -177,22 +239,67 @@ class Condition:
         return min(self._waiters)[0]
 
     # ------------------------------------------------------------------
-    def wait(self, priority: int = 0) -> Generator:
+    def wait(
+        self, priority: int = 0, timeout: Optional[int] = None
+    ) -> Generator:
         """Release the monitor and wait on this condition.
 
         On Hoare semantics the waiter owns the monitor again when ``wait``
         returns (handed over by the signaller); on Mesa semantics the waiter
         re-entered through the entry queue and must re-check its predicate.
+
+        ``timeout`` bounds the wait in virtual time.  On expiry the waiter
+        is moved to the entry queue, re-acquires the monitor, and *then*
+        raises :class:`WaitTimeout` — so the caller owns the monitor in the
+        ``except`` block and must still exit it (``Monitor.procedure`` does).
         """
         me = self._monitor._require_active("wait({})".format(self.name))
         self._counter += 1
         self._waiters.append((priority, self._counter, me))
         self._waiters.sort(key=lambda item: (item[0], item[1]))
         self._sched.log("wait", self.name, priority)
+        self._monitor._release_possession(me)
         self._monitor._pass_possession()
-        yield from self._sched.park(
-            "wait({}.{})".format(self._monitor.name, self.name), self.name
-        )
+        self._sched.register_cleanup(self._wait_key, self._on_waiter_death)
+        try:
+            yield from self._sched.park(
+                "wait({}.{})".format(self._monitor.name, self.name), self.name,
+                timeout=timeout,
+                on_timeout=lambda: self._requeue_timed_out(me),
+                resource=self._label,
+            )
+        finally:
+            self._sched.unregister_cleanup(self._wait_key, me)
+        if me.pid in self._timed_out:
+            self._timed_out.discard(me.pid)
+            raise WaitTimeout(self._label, timeout)
+
+    def _requeue_timed_out(self, proc: SimProcess) -> bool:
+        """Timer callback: abandon the condition, queue for re-entry.
+
+        Returns ``True`` so the scheduler does not wake the process itself —
+        the monitor's entry machinery will, once possession is available, and
+        :meth:`wait` raises only after it owns the monitor again.
+        """
+        self._discard_waiter(proc)
+        self._timed_out.add(proc.pid)
+        self._monitor._entry.append(proc)
+        if self._monitor._active is None:
+            self._monitor._pass_possession()
+        return True
+
+    def _discard_waiter(self, proc: SimProcess) -> None:
+        for index, (__, __, waiter) in enumerate(self._waiters):
+            if waiter is proc:
+                del self._waiters[index]
+                return
+
+    def _on_waiter_death(self, proc: SimProcess) -> None:
+        """A dead waiter is dequeued wherever it sits — the condition queue,
+        or the entry queue it was moved to by a timeout or a Mesa signal."""
+        self._discard_waiter(proc)
+        self._monitor._discard_entry(proc)
+        self._timed_out.discard(proc.pid)
 
     def signal(self) -> Generator:
         """Wake the first waiter (by priority, then FIFO); no-op if none.
@@ -203,8 +310,14 @@ class Condition:
         Mesa semantics: the waiter is moved to the entry queue and the
         signaller keeps running (still invoked with ``yield from`` for a
         uniform call shape).
+
+        Subject to ``drop_signal`` fault injection: a dropped signal
+        vanishes and the waiter stays parked (a lost wakeup).
         """
         me = self._monitor._require_active("signal({})".format(self.name))
+        if self._sched.fault_drop(self.name):
+            self._sched.log("fault_drop", self.name, "signal")
+            return
         if not self._waiters:
             self._sched.log("signal", self.name, "empty")
             return
@@ -215,12 +328,20 @@ class Condition:
             self._monitor._entry.append(waiter)
             return
         # Hoare signal-and-urgent-wait: direct possession handoff.
+        self._monitor._release_possession(me)
         self._monitor._urgent.append(me)
-        self._monitor._active = waiter
+        self._monitor._set_active(waiter)
         self._sched.unpark(waiter)
-        yield from self._sched.park(
-            "urgent({})".format(self._monitor.name), self._monitor.name
+        self._sched.register_cleanup(
+            self._monitor._urgent_key, self._monitor._on_urgent_death
         )
+        try:
+            yield from self._sched.park(
+                "urgent({})".format(self._monitor.name), self._monitor.name,
+                resource=self._monitor._label,
+            )
+        finally:
+            self._sched.unregister_cleanup(self._monitor._urgent_key, me)
 
     def signal_and_exit(self) -> None:
         """Hoare's optimized form: signal then immediately leave the monitor
@@ -228,11 +349,11 @@ class Condition:
         me = self._monitor._require_active(
             "signal_and_exit({})".format(self.name)
         )
-        del me
         self._sched.log("signal", self.name, "and_exit")
+        self._monitor._release_possession(me)
         if self._waiters:
             __, __, waiter = self._waiters.pop(0)
-            self._monitor._active = waiter
+            self._monitor._set_active(waiter)
             self._sched.unpark(waiter)
         else:
             self._monitor._pass_possession()

@@ -31,8 +31,9 @@ in which case its prologues run in path-declaration order.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
+from ...runtime.errors import IllegalOperationError
 from ...runtime.primitives import Mutex, Semaphore
 from ...runtime.scheduler import Scheduler
 from .ast import Burst, Name, PathExpr, PathNode, Selection, Sequence
@@ -44,14 +45,33 @@ class PathCompileError(ValueError):
 
 class Action:
     """A micro-operation executed as part of an operation's prologue or
-    epilogue.  ``execute`` is a generator and may block (prologue side)."""
+    epilogue.  ``execute`` is a generator and may block (prologue side);
+    ``timeout`` bounds any blocking in virtual time (:class:`WaitTimeout`).
 
-    def execute(self) -> Generator:
+    The two ``*_nonblocking`` hooks power crash recovery
+    (:meth:`PathResource.invoke`): they perform or undo the action's
+    semaphore effect *without blocking* when that is possible, returning
+    ``True`` on success.  Burst boundaries need the region lock and so
+    cannot recover this way — they return ``False`` and recovery logs the
+    abandonment instead of wedging.
+    """
+
+    def execute(self, timeout: Optional[int] = None) -> Generator:
         raise NotImplementedError
 
     def describe(self) -> str:
         """Human-readable rendering (used in solution descriptions)."""
         raise NotImplementedError
+
+    def fire_nonblocking(self) -> bool:
+        """Perform the action's effect without blocking (epilogue recovery
+        after the body ran); ``False`` when the action may block."""
+        return False
+
+    def undo_nonblocking(self) -> bool:
+        """Reverse the action's effect without blocking (prologue rollback
+        when the body never ran); ``False`` when not reversible this way."""
+        return False
 
 
 class PAction(Action):
@@ -60,8 +80,12 @@ class PAction(Action):
     def __init__(self, sem: Semaphore) -> None:
         self.sem = sem
 
-    def execute(self) -> Generator:
-        yield from self.sem.p()
+    def execute(self, timeout: Optional[int] = None) -> Generator:
+        yield from self.sem.p(timeout=timeout)
+
+    def undo_nonblocking(self) -> bool:
+        self.sem.v()
+        return True
 
     def describe(self) -> str:
         return "P({})".format(self.sem.name)
@@ -73,10 +97,14 @@ class VAction(Action):
     def __init__(self, sem: Semaphore) -> None:
         self.sem = sem
 
-    def execute(self) -> Generator:
+    def execute(self, timeout: Optional[int] = None) -> Generator:
         self.sem.v()
         return
         yield  # pragma: no cover - makes this a generator function
+
+    def fire_nonblocking(self) -> bool:
+        self.sem.v()
+        return True
 
     def describe(self) -> str:
         return "V({})".format(self.sem.name)
@@ -103,11 +131,19 @@ class BurstEnter(Action):
         self.counter = counter
         self.boundary = boundary
 
-    def execute(self) -> Generator:
-        yield from self.counter.lock.acquire()
+    def execute(self, timeout: Optional[int] = None) -> Generator:
+        yield from self.counter.lock.acquire(timeout=timeout)
         self.counter.count += 1
         if self.counter.count == 1:
-            yield from self.boundary.execute()
+            try:
+                yield from self.boundary.execute(timeout=timeout)
+            except BaseException:
+                self.counter.count -= 1  # the region never opened
+                try:
+                    self.counter.lock.release()
+                except IllegalOperationError:
+                    pass  # a crash already released the lock for us
+                raise
         self.counter.lock.release()
 
     def describe(self) -> str:
@@ -123,11 +159,19 @@ class BurstExit(Action):
         self.counter = counter
         self.boundary = boundary
 
-    def execute(self) -> Generator:
-        yield from self.counter.lock.acquire()
+    def execute(self, timeout: Optional[int] = None) -> Generator:
+        yield from self.counter.lock.acquire(timeout=timeout)
         self.counter.count -= 1
         if self.counter.count == 0:
-            yield from self.boundary.execute()
+            try:
+                yield from self.boundary.execute(timeout=timeout)
+            except BaseException:
+                self.counter.count += 1  # the region never closed
+                try:
+                    self.counter.lock.release()
+                except IllegalOperationError:
+                    pass  # a crash already released the lock for us
+                raise
         self.counter.lock.release()
 
     def describe(self) -> str:

@@ -13,6 +13,17 @@ operations they govern.  Invoking an operation runs, in order:
 Operations named in paths but given no body act as pure synchronization
 gates — the "synchronization procedures" whose necessity §5.1.1 of the paper
 identifies as a path-expression weakness.
+
+Crash semantics (DESIGN.md "Fault model"): an operation that dies (or whose
+body raises) is recovered so the compiled semaphore network stays
+consistent.  If the body never started, completed prologue ``P``s are undone
+in reverse (a ``V`` on the same semaphore); if it did start, the remaining
+epilogue ``V``s are fired forward.  Both directions are non-blocking;
+burst-region boundaries, which need the region lock, cannot be recovered
+this way and are *abandoned with a trace log* (``path_abandon``) — the
+honest middle ground between wedging survivors and forging lock ownership.
+``invoke(..., timeout=...)`` bounds prologue blocking; on
+:class:`WaitTimeout` the same rollback runs before the exception surfaces.
 """
 
 from __future__ import annotations
@@ -127,11 +138,16 @@ class PathResource:
             listener(phase, op, detail)
 
     # ------------------------------------------------------------------
-    def invoke(self, op: str, *args: Any) -> Generator:
+    def invoke(
+        self, op: str, *args: Any, timeout: Optional[int] = None
+    ) -> Generator:
         """Execute operation ``op`` under path control.
 
         Returns the body's return value.  Must be delegated to with
-        ``yield from``.
+        ``yield from``.  ``timeout`` bounds each blocking prologue step in
+        virtual time (:class:`WaitTimeout`); if the operation dies or raises
+        part-way through, the semaphore network is recovered (see module
+        docstring).
         """
         if op not in self._bodies and op not in self._ops:
             raise IllegalOperationError(
@@ -140,24 +156,78 @@ class PathResource:
         pairs = self._ops.get(op, [])
         self._sched.log("request", "{}.{}".format(self.name, op), args or None)
         self._notify("request", op, args)
-        for prologue, __ in pairs:
-            yield from prologue.execute()
-        self._started[op] = self._started.get(op, 0) + 1
-        self._sched.log("op_start", "{}.{}".format(self.name, op))
-        self._notify("op_start", op, args)
-        body = self._bodies.get(op)
-        result = None
-        if body is not None:
-            if inspect.isgeneratorfunction(body):
-                result = yield from body(self, *args)
-            else:
-                result = body(self, *args)
-        self._completed[op] = self._completed.get(op, 0) + 1
-        self._sched.log("op_end", "{}.{}".format(self.name, op))
-        self._notify("op_end", op, args)
-        for __, epilogue in pairs:
-            yield from epilogue.execute()
+        # Per-invocation progress record; drives idempotent crash recovery.
+        progress = {"prologues": 0, "body": False, "counted": False,
+                    "epilogues": 0, "recovered": False}
+        key = ("path_op", id(self))
+        self._sched.register_cleanup(
+            key, lambda proc: self._recover(op, pairs, progress)
+        )
+        try:
+            for index, (prologue, __) in enumerate(pairs):
+                yield from prologue.execute(timeout=timeout)
+                progress["prologues"] = index + 1
+            self._started[op] = self._started.get(op, 0) + 1
+            progress["body"] = True
+            self._sched.log("op_start", "{}.{}".format(self.name, op))
+            self._notify("op_start", op, args)
+            body = self._bodies.get(op)
+            result = None
+            if body is not None:
+                if inspect.isgeneratorfunction(body):
+                    result = yield from body(self, *args)
+                else:
+                    result = body(self, *args)
+            self._completed[op] = self._completed.get(op, 0) + 1
+            progress["counted"] = True
+            self._sched.log("op_end", "{}.{}".format(self.name, op))
+            self._notify("op_end", op, args)
+            for index, (__, epilogue) in enumerate(pairs):
+                yield from epilogue.execute(timeout=timeout)
+                progress["epilogues"] = index + 1
+            progress["recovered"] = True  # complete: recovery is a no-op
+        except BaseException:
+            # Covers body exceptions, prologue/epilogue timeouts, and the
+            # GeneratorExit of a kill (where the registered cleanup usually
+            # ran first — _recover is idempotent either way).
+            self._recover(op, pairs, progress)
+            raise
+        finally:
+            self._sched.unregister_cleanup(key)
         return result
+
+    def _recover(self, op: str, pairs, progress: dict) -> None:
+        """Repair the semaphore network after a crashed/failed invocation.
+
+        Idempotent: the first call (registered cleanup or the ``except``
+        path in :meth:`invoke`, whichever fires first) does the work."""
+        if progress["recovered"]:
+            return
+        progress["recovered"] = True
+        label = "{}.{}".format(self.name, op)
+        if progress["body"]:
+            # The body started: complete the cycle forward so successors
+            # (sequence/cycle semaphores) are not starved.
+            if not progress["counted"]:
+                self._completed[op] = self._completed.get(op, 0) + 1
+                self._sched.log("op_abort", label)
+                self._notify("op_end", op, None)
+            for __, epilogue in pairs[progress["epilogues"]:]:
+                if epilogue.fire_nonblocking():
+                    self._sched.log("path_recover", label,
+                                    "fired {}".format(epilogue.describe()))
+                else:
+                    self._sched.log("path_abandon", label,
+                                    epilogue.describe())
+        else:
+            # The body never started: roll the completed prologues back.
+            for prologue, __ in reversed(pairs[:progress["prologues"]]):
+                if prologue.undo_nonblocking():
+                    self._sched.log("path_recover", label,
+                                    "undid {}".format(prologue.describe()))
+                else:
+                    self._sched.log("path_abandon", label,
+                                    prologue.describe())
 
     def operation(self, op: str) -> Callable[..., Generator]:
         """A convenience callable: ``read = res.operation('read')`` then

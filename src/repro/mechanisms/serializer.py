@@ -23,13 +23,22 @@ reproduced here:
 Dispatch order when possession frees up: processes re-entering from a crowd
 first, then queue heads with true guarantees (queues in creation order), then
 the entry queue — all FIFO within a class.
+
+Crash semantics (DESIGN.md "Fault model"): the serializer is **fault-
+containing**.  A dead possessor releases possession and dispatch continues;
+dead entry/queue/rejoin waiters are dequeued; a dead crowd member leaves the
+crowd, so guarantees like ``crowd.empty`` become true again.  Timed
+variants: ``enter(timeout=...)`` gives up from the entry queue;
+``enqueue(timeout=...)`` re-acquires possession through the entry queue and
+*then* raises :class:`WaitTimeout` — the caller owns possession in the
+``except`` block and must still ``exit()``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Set, Tuple
 
-from ..runtime.errors import IllegalOperationError
+from ..runtime.errors import IllegalOperationError, WaitTimeout
 from ..runtime.process import SimProcess
 from ..runtime.scheduler import Scheduler
 
@@ -66,6 +75,13 @@ class SerializerQueue:
         proc, __ = self._waiters.pop(0)
         return proc
 
+    def _discard(self, proc: SimProcess) -> None:
+        """Drop ``proc`` wherever it waits (crash / timeout dequeue)."""
+        for index, (waiter, __) in enumerate(self._waiters):
+            if waiter is proc:
+                del self._waiters[index]
+                return
+
 
 class SerializerPriorityQueue(SerializerQueue):
     """A queue ordered by caller-supplied rank instead of arrival.
@@ -91,6 +107,12 @@ class SerializerPriorityQueue(SerializerQueue):
     def _pop(self) -> SimProcess:
         __, __, proc, __ = self._waiters.pop(0)
         return proc
+
+    def _discard(self, proc: SimProcess) -> None:
+        for index, (__, __, waiter, __) in enumerate(self._waiters):
+            if waiter is proc:
+                del self._waiters[index]
+                return
 
     def head_eligible(self) -> bool:
         if not self._waiters:
@@ -146,6 +168,7 @@ class Crowd:
     def __init__(self, serializer: "Serializer", name: str) -> None:
         self._serializer = serializer
         self.name = name
+        self._label = "crowd {}.{}".format(serializer.name, name)
         self._members: List[SimProcess] = []
 
     def __len__(self) -> int:
@@ -172,11 +195,16 @@ class Serializer:
     def __init__(self, sched: Scheduler, name: str = "serializer") -> None:
         self._sched = sched
         self.name = name
+        self._label = "serializer {}".format(name)
+        self._poss_key = ("ser_poss", id(self))
+        self._entry_key = ("ser_entry", id(self))
+        self._rejoin_key = ("ser_rejoin", id(self))
         self._possessor: Optional[SimProcess] = None
         self._entry: List[SimProcess] = []
         self._rejoin: List[SimProcess] = []  # leave_crowd waiters (top priority)
         self._queues: List[SerializerQueue] = []
         self._crowds: List[Crowd] = []
+        self._timed_out: Set[int] = set()  # pids re-entering after a timeout
 
     # ------------------------------------------------------------------
     # Construction of sub-objects
@@ -226,10 +254,56 @@ class Serializer:
         return me
 
     # ------------------------------------------------------------------
+    # Possession bookkeeping (crash semantics live here)
+    # ------------------------------------------------------------------
+    def _set_possessor(self, proc: SimProcess) -> None:
+        self._possessor = proc
+        self._sched.note_hold(self._label, proc)
+        self._sched.register_cleanup(
+            self._poss_key, self._on_possessor_death, proc=proc
+        )
+
+    def _release_possession(self, proc: SimProcess) -> None:
+        self._sched.unregister_cleanup(self._poss_key, proc)
+        self._sched.note_release(self._label, proc)
+        self._possessor = None
+
+    def _on_possessor_death(self, proc: SimProcess) -> None:
+        """A dead possessor releases the serializer — dispatch continues."""
+        if self._possessor is not proc:
+            return
+        self._sched.log("leave", self.name, "crash_release", proc=proc)
+        self._sched.note_release(self._label, proc)
+        self._possessor = None
+        self._dispatch()
+
+    def _on_entry_death(self, proc: SimProcess) -> None:
+        if proc in self._entry:
+            self._entry.remove(proc)
+
+    def _on_rejoin_death(self, proc: SimProcess) -> None:
+        if proc in self._rejoin:
+            self._rejoin.remove(proc)
+
+    def _on_crowd_death(self, crowd: Crowd, proc: SimProcess) -> None:
+        """A dead crowd member leaves the crowd, so guarantees such as
+        ``crowd.empty`` can become true again; re-dispatch if idle."""
+        if proc not in crowd._members:
+            return
+        crowd._members.remove(proc)
+        self._sched.note_release(crowd._label, proc)
+        self._sched.log("leave_crowd", crowd.name, "crash", proc=proc)
+        if self._possessor is None:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
     # Possession protocol
     # ------------------------------------------------------------------
-    def enter(self) -> Generator:
-        """Gain possession of the serializer (entry has lowest priority)."""
+    def enter(self, timeout: Optional[int] = None) -> Generator:
+        """Gain possession of the serializer (entry has lowest priority).
+
+        ``timeout`` bounds the entry wait in virtual time; expiry leaves the
+        queue and raises :class:`WaitTimeout`."""
         yield from self._sched.checkpoint()
         me = self._sched.current
         if self._possessor is me:
@@ -240,14 +314,23 @@ class Serializer:
         if self._possessor is None and self._grant_next(me):
             self._sched.log("enter", self.name)
             return
-        yield from self._sched.park("enter({})".format(self.name), self.name)
+        self._sched.register_cleanup(self._entry_key, self._on_entry_death)
+        try:
+            yield from self._sched.park(
+                "enter({})".format(self.name), self.name,
+                timeout=timeout,
+                on_timeout=lambda: self._on_entry_death(me),
+                resource=self._label,
+            )
+        finally:
+            self._sched.unregister_cleanup(self._entry_key, me)
         self._sched.log("enter", self.name, "handoff")
 
     def exit(self) -> None:
         """Release possession and leave; triggers automatic dispatch."""
-        self._require_possession("exit")
+        me = self._require_possession("exit")
         self._sched.log("leave", self.name)
-        self._possessor = None
+        self._release_possession(me)
         self._dispatch()
 
     def enqueue(
@@ -255,6 +338,7 @@ class Serializer:
         q: SerializerQueue,
         guarantee: Guarantee = None,
         priority: int = 0,
+        timeout: Optional[int] = None,
     ) -> Generator:
         """Release possession; wait until head of ``q`` with a true guarantee.
 
@@ -263,6 +347,11 @@ class Serializer:
         read crowds, queues, and any user state, but must not block.
         ``priority`` is honoured only by :class:`SerializerPriorityQueue`
         (smaller ranks released first); plain queues ignore it.
+
+        ``timeout`` bounds the wait in virtual time.  On expiry the waiter
+        abandons ``q``, re-acquires possession through the entry queue, and
+        *then* raises :class:`WaitTimeout` — the caller holds possession in
+        the ``except`` block and must still ``exit()``.
         """
         me = self._require_possession("enqueue({})".format(q.name))
         self._sched.log("wait", q.name)
@@ -270,15 +359,39 @@ class Serializer:
             q._push(me, guarantee, priority)
         else:
             q._push(me, guarantee)
-        self._possessor = None
+        self._release_possession(me)
         if self._grant_next(me):
             # Our own guarantee already held and nobody outranked us.
             self._sched.log("proceed", q.name, "immediate")
             return
-        yield from self._sched.park(
-            "enqueue({}.{})".format(self.name, q.name), q.name
-        )
+        queue_key = ("ser_q", id(q))
+        self._sched.register_cleanup(queue_key, q._discard)
+        try:
+            yield from self._sched.park(
+                "enqueue({}.{})".format(self.name, q.name), q.name,
+                timeout=timeout,
+                on_timeout=lambda: self._requeue_timed_out(q, me),
+                resource="queue {}.{}".format(self.name, q.name),
+            )
+        finally:
+            self._sched.unregister_cleanup(queue_key, me)
+        if me.pid in self._timed_out:
+            self._timed_out.discard(me.pid)
+            raise WaitTimeout("queue {}.{}".format(self.name, q.name), timeout)
         self._sched.log("proceed", q.name, "handoff")
+
+    def _requeue_timed_out(self, q: SerializerQueue, proc: SimProcess) -> bool:
+        """Timer callback: abandon the queue, re-enter for possession.
+
+        Returns ``True`` so the scheduler does not wake the process itself —
+        dispatch will, once possession is available, and :meth:`enqueue`
+        raises only after the caller holds possession again."""
+        q._discard(proc)
+        self._timed_out.add(proc.pid)
+        self._entry.append(proc)
+        if self._possessor is None:
+            self._dispatch()
+        return True
 
     def join_crowd(self, crowd: Crowd) -> Generator:
         """Join ``crowd`` and release possession (resource access begins).
@@ -289,8 +402,13 @@ class Serializer:
         """
         me = self._require_possession("join_crowd({})".format(crowd.name))
         crowd._members.append(me)
+        self._sched.note_hold(crowd._label, me)
+        self._sched.register_cleanup(
+            ("ser_crowd", id(crowd)),
+            lambda proc: self._on_crowd_death(crowd, proc),
+        )
         self._sched.log("join_crowd", crowd.name)
-        self._possessor = None
+        self._release_possession(me)
         self._dispatch()
         # Joining never blocks; the caller continues outside possession.
         yield from self._sched.checkpoint()
@@ -310,10 +428,19 @@ class Serializer:
         if self._possessor is None and self._grant_next(me):
             pass  # possession granted synchronously
         else:
-            yield from self._sched.park(
-                "rejoin({})".format(self.name), crowd.name
+            self._sched.register_cleanup(
+                self._rejoin_key, self._on_rejoin_death
             )
+            try:
+                yield from self._sched.park(
+                    "rejoin({})".format(self.name), crowd.name,
+                    resource=self._label,
+                )
+            finally:
+                self._sched.unregister_cleanup(self._rejoin_key, me)
         crowd._members.remove(me)
+        self._sched.note_release(crowd._label, me)
+        self._sched.unregister_cleanup(("ser_crowd", id(crowd)), me)
         self._sched.log("leave_crowd", crowd.name)
 
     # ------------------------------------------------------------------
@@ -336,7 +463,7 @@ class Serializer:
         nxt = self._select_next()
         if nxt is None:
             return False
-        self._possessor = nxt
+        self._set_possessor(nxt)
         if nxt is me:
             return True
         self._sched.unpark(nxt)
@@ -347,5 +474,5 @@ class Serializer:
         nxt = self._select_next()
         if nxt is None:
             return
-        self._possessor = nxt
+        self._set_possessor(nxt)
         self._sched.unpark(nxt)

@@ -15,11 +15,15 @@ single deterministic loop (see DESIGN.md §6 for why).  Public surface:
 from .errors import (
     DeadlockError,
     IllegalOperationError,
+    PeerFailed,
     ProcessFailed,
+    ProcessKilled,
     RuntimeBaseError,
     SchedulerStateError,
     StepLimitExceeded,
+    WaitTimeout,
 )
+from .faults import Fault, FaultPlan, WaitForGraph, deliver, retrying
 from .policies import (
     FIFOPolicy,
     NamedOrderPolicy,
@@ -39,11 +43,15 @@ __all__ = [
     "DeadlockError",
     "Event",
     "FIFOPolicy",
+    "Fault",
+    "FaultPlan",
     "IllegalOperationError",
     "Mutex",
     "NamedOrderPolicy",
+    "PeerFailed",
     "PriorityPolicy",
     "ProcessFailed",
+    "ProcessKilled",
     "ProcessState",
     "RandomPolicy",
     "RunResult",
@@ -56,6 +64,10 @@ __all__ = [
     "SimProcess",
     "StepLimitExceeded",
     "Trace",
+    "WaitForGraph",
+    "WaitTimeout",
+    "deliver",
     "render_timeline",
+    "retrying",
     "run_processes",
 ]

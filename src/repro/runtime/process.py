@@ -54,10 +54,13 @@ class SimProcess:
         "name",
         "state",
         "blocked_on",
+        "wait_obj",
         "result",
         "exception",
         "arrival",
         "daemon",
+        "steps",
+        "cleanups",
         "_generator",
         "_wake_value",
     )
@@ -73,12 +76,23 @@ class SimProcess:
         self.name = name
         self.state = ProcessState.NEW
         self.blocked_on: Optional[str] = None
+        #: Wait-for-graph label of the resource this process is parked on
+        #: (e.g. ``"mutex m"``); ``None`` while runnable.
+        self.wait_obj: Optional[str] = None
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self.arrival: int = -1
         #: Daemon processes (e.g. forever-looping servers) do not keep the
         #: run alive: the scheduler stops once every non-daemon finishes.
         self.daemon = daemon
+        #: Scheduler steps this process has executed — the coordinate a
+        #: :class:`~repro.runtime.faults.FaultPlan` kills at.
+        self.steps: int = 0
+        #: Crash-cleanup stack: ``(key, fn)`` pairs registered by the
+        #: mechanisms this process is currently inside.  Run LIFO by the
+        #: scheduler when the process dies abnormally (killed or failed),
+        #: never on normal exit.
+        self.cleanups: list = []
         self._generator = generator
         self._wake_value: Any = None
 
@@ -119,8 +133,27 @@ class SimProcess:
 
     def kill(self, exc: BaseException) -> None:
         """Mark the process failed with ``exc`` and close its generator."""
+        self.fail(exc)
+        self.close_body()
+
+    def fail(self, exc: BaseException) -> None:
+        """Mark the process failed with ``exc`` without touching the body.
+
+        The scheduler uses the split form on injected kills: mark the process
+        dead, run its registered cleanups, *then* close the generator — so a
+        mechanism's cleanup sees a consistent FAILED state and any ``finally``
+        blocks in the body find their resources already released.
+        """
         self.state = ProcessState.FAILED
         self.exception = exc
+
+    def close_body(self) -> None:
+        """Close the generator, running the body's ``finally`` blocks.
+
+        A closing body cannot block (a ``yield`` during close is a
+        ``RuntimeError`` per the generator protocol); whatever it raises
+        propagates to the caller, which records it in the trace.
+        """
         self._generator.close()
 
     def __repr__(self) -> str:

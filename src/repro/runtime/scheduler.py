@@ -12,22 +12,80 @@ Virtual time is discrete-event style: the clock only advances when nothing is
 runnable, jumping to the earliest pending timer.  The global event sequence
 number (``seq``) provides the total order used for "request time"
 (information type T2) reasoning.
+
+Robustness services layered on the same two primitives:
+
+* **timed blocking** — ``park(timeout=...)`` arms a timer-heap entry that
+  delivers :class:`WaitTimeout` if no wakeup arrives in time; normal wakeups
+  cancel the entry (lazily removed from the heap);
+* **crash semantics** — :meth:`kill` terminates a process abruptly, running
+  the cleanup callbacks mechanisms registered (release a held monitor,
+  dequeue a dead waiter, break a channel) so survivors are never silently
+  wedged;
+* **fault injection** — a :class:`~repro.runtime.faults.FaultPlan` can
+  script kills, delayed wakeups, and dropped signals into the run loop;
+* **diagnosis** — the scheduler tracks who holds what (:meth:`note_hold`)
+  and who waits on what, so deadlocks carry a wait-for graph naming even
+  dead processes.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from .errors import (
     DeadlockError,
     ProcessFailed,
+    ProcessKilled,
     SchedulerStateError,
     StepLimitExceeded,
+    WaitTimeout,
 )
+from .faults import FaultPlan, WaitForGraph, _Failure
 from .policies import FIFOPolicy, SchedulingPolicy
 from .process import ProcessState, SimProcess
 from .trace import Event, RunResult, Trace
+
+#: Trace events carried by :class:`StepLimitExceeded` for diagnosis.
+DIAGNOSTIC_TAIL = 20
+
+
+class _TimerEntry:
+    """One timer-heap entry.  ``kind`` selects the firing behaviour:
+
+    * ``"sleep"``   — plain :meth:`Scheduler.sleep` wakeup;
+    * ``"timeout"`` — timed ``park`` expiry: run the mechanism's
+      ``on_fire`` dequeue callback, then deliver :class:`WaitTimeout`
+      (unless ``on_fire`` returned ``True``, meaning it re-queued the
+      wakeup itself — the monitor does this to re-enter before raising);
+    * ``"delayed"`` — a fault-plan-delayed wakeup carrying the original
+      wake value in ``payload``.
+
+    Entries are cancelled lazily: normal wakeups set :attr:`cancelled` and
+    the heap skips stale entries (cancelled, already-woken, or dead
+    processes) when the clock advances.
+    """
+
+    __slots__ = ("proc", "kind", "on_fire", "payload", "what", "timeout",
+                 "cancelled")
+
+    def __init__(
+        self,
+        proc: SimProcess,
+        kind: str,
+        on_fire: Optional[Callable[[], Any]] = None,
+        payload: Any = None,
+        what: str = "",
+        timeout: int = 0,
+    ) -> None:
+        self.proc = proc
+        self.kind = kind
+        self.on_fire = on_fire
+        self.payload = payload
+        self.what = what
+        self.timeout = timeout
+        self.cancelled = False
 
 
 class Scheduler:
@@ -40,6 +98,8 @@ class Scheduler:
         preemptive: when ``True``, primitives insert extra context-switch
             points via :meth:`checkpoint`, widening the schedule space the
             explorer can reach.
+        fault_plan: optional :class:`~repro.runtime.faults.FaultPlan` of
+            kills / delays / dropped signals injected into the run.
     """
 
     def __init__(
@@ -47,15 +107,18 @@ class Scheduler:
         policy: Optional[SchedulingPolicy] = None,
         max_steps: int = 500_000,
         preemptive: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.policy = policy or FIFOPolicy()
         self.policy.reset()
         self.max_steps = max_steps
         self.preemptive = preemptive
+        self.fault_plan = fault_plan
         self.trace = Trace()
         self._ready: List[SimProcess] = []
         self._processes: List[SimProcess] = []
-        self._timers: list = []  # heap of (deadline, seq, process)
+        self._timers: list = []  # heap of (deadline, seq, _TimerEntry)
+        self._holds: Dict[str, List[SimProcess]] = {}
         self._time = 0
         self._seq = 0
         self._current: Optional[SimProcess] = None
@@ -85,6 +148,11 @@ class Scheduler:
     def processes(self) -> List[SimProcess]:
         """All processes ever spawned, in spawn order."""
         return list(self._processes)
+
+    def wait_graph(self) -> WaitForGraph:
+        """Snapshot of the current wait-for relation (see
+        :class:`~repro.runtime.faults.WaitForGraph`)."""
+        return WaitForGraph.snapshot(self._processes, self._holds)
 
     # ------------------------------------------------------------------
     # Process management
@@ -121,33 +189,205 @@ class Scheduler:
         self.log("spawn", proc.name, proc=proc)
         return proc
 
+    def kill(
+        self,
+        proc: SimProcess,
+        exc: Optional[BaseException] = None,
+        why: str = "",
+    ) -> None:
+        """Terminate ``proc`` abruptly, running its registered cleanups.
+
+        The crash sequence is: mark the process FAILED, run the cleanup
+        callbacks mechanisms registered (LIFO — innermost construct first),
+        then close the generator so the body's ``finally`` blocks run with
+        their resources already released.  Cleanup or close errors are
+        recorded in the trace, never raised: a crash must not crash the
+        scheduler.
+        """
+        if proc is self._current:
+            raise SchedulerStateError(
+                "a process cannot kill itself mid-step; raise instead"
+            )
+        if not proc.alive:
+            raise SchedulerStateError(
+                "kill of already-finished process {!r}".format(proc.name)
+            )
+        if exc is None:
+            exc = ProcessKilled(proc.name, why)
+        if proc in self._ready:
+            self._ready.remove(proc)
+        if not proc.daemon:
+            self._live_nondaemons -= 1
+        proc.fail(exc)
+        proc.blocked_on = None
+        self.log("killed", proc.name, why or repr(exc), proc=proc)
+        self._run_cleanups(proc)
+        proc.wait_obj = None
+        try:
+            proc.close_body()
+        except BaseException as close_exc:  # noqa: BLE001 - body finally bug
+            self.log("kill_error", proc.name, repr(close_exc), proc=proc)
+
+    # ------------------------------------------------------------------
+    # Crash-cleanup registry (used by the mechanisms)
+    # ------------------------------------------------------------------
+    def register_cleanup(
+        self,
+        key: Any,
+        fn: Callable[[SimProcess], None],
+        proc: Optional[SimProcess] = None,
+    ) -> None:
+        """Register ``fn`` to run if ``proc`` (default: current) dies
+        abnormally.  Mechanisms pair this with :meth:`unregister_cleanup`
+        around every hold/wait so a dead process never strands survivors.
+        Callbacks must not block; errors are logged, not raised."""
+        target = proc if proc is not None else self._current
+        if target is None:
+            raise SchedulerStateError("register_cleanup outside a process")
+        target.cleanups.append((key, fn))
+
+    def unregister_cleanup(
+        self, key: Any, proc: Optional[SimProcess] = None
+    ) -> None:
+        """Remove the most recent cleanup registered under ``key``.
+
+        Tolerant of absence: a cleanup that already ran (the process is
+        being killed and a body ``finally`` re-unregisters) is a no-op.
+        """
+        target = proc if proc is not None else self._current
+        if target is None:
+            return
+        for index in range(len(target.cleanups) - 1, -1, -1):
+            if target.cleanups[index][0] == key:
+                del target.cleanups[index]
+                return
+
+    def _run_cleanups(self, proc: SimProcess) -> None:
+        while proc.cleanups:
+            key, fn = proc.cleanups.pop()
+            try:
+                fn(proc)
+            except Exception as exc:  # noqa: BLE001 - cleanup bug
+                self.log("cleanup_error", str(key), repr(exc), proc=proc)
+
+    # ------------------------------------------------------------------
+    # Hold registry (wait-for-graph bookkeeping)
+    # ------------------------------------------------------------------
+    def note_hold(
+        self, resource: str, proc: Optional[SimProcess] = None
+    ) -> None:
+        """Record that ``proc`` (default: current) now holds ``resource``
+        (a label like ``"mutex m"``).  Purely diagnostic — powers the
+        wait-for graph; never affects scheduling."""
+        target = proc if proc is not None else self._current
+        if target is not None:
+            self._holds.setdefault(resource, []).append(target)
+
+    def note_release(
+        self,
+        resource: str,
+        proc: Optional[SimProcess] = None,
+        fallback_oldest: bool = False,
+    ) -> None:
+        """Forget one hold of ``resource`` by ``proc`` (default: current).
+
+        ``fallback_oldest`` releases the longest-standing holder when the
+        releaser is not itself recorded — the right attribution for
+        token-passing semaphore patterns, where the V-er acquired a
+        *different* semaphore than it releases.
+        """
+        holders = self._holds.get(resource)
+        if not holders:
+            return
+        target = proc if proc is not None else self._current
+        if target in holders:
+            holders.remove(target)
+        elif fallback_oldest:
+            holders.pop(0)
+
+    def holders_of(self, resource: str) -> List[str]:
+        """Names of the recorded holders of ``resource`` (may include dead
+        processes)."""
+        return [p.name for p in self._holds.get(resource, [])]
+
     # ------------------------------------------------------------------
     # Blocking services (used by primitives, via ``yield from``)
     # ------------------------------------------------------------------
-    def park(self, reason: str, obj: str = "") -> Generator:
+    def park(
+        self,
+        reason: str,
+        obj: str = "",
+        timeout: Optional[int] = None,
+        on_timeout: Optional[Callable[[], Any]] = None,
+        resource: Optional[str] = None,
+    ) -> Generator:
         """Suspend the current process until :meth:`unpark`.
 
         Must be delegated to with ``yield from``.  Returns the value passed
         to :meth:`unpark` (used e.g. to hand a monitor's possession token to
         a signalled process).
+
+        Args:
+            timeout: maximum *virtual-time* wait; expiry raises
+                :class:`WaitTimeout` in the parked process.
+            on_timeout: mechanism callback run when the timer fires, used to
+                dequeue the caller so no later signal targets a process that
+                gave up.  Returning ``True`` suppresses the immediate
+                :class:`WaitTimeout` delivery (the callback re-queued the
+                wakeup itself).
+            resource: wait-for-graph label of what is awaited (defaults to
+                ``obj``).
         """
         proc = self._current
         if proc is None:
             raise SchedulerStateError("park called outside a running process")
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = reason
+        proc.wait_obj = resource or obj or reason
+        entry = None
+        if timeout is not None:
+            if timeout <= 0:
+                raise ValueError("park timeout must be positive")
+            entry = _TimerEntry(
+                proc, "timeout", on_fire=on_timeout,
+                what=proc.wait_obj, timeout=timeout,
+            )
+            heapq.heappush(
+                self._timers, (self._time + timeout, self._next_seq(), entry)
+            )
         self.log("blocked", obj or reason)
         value = yield
+        if entry is not None:
+            entry.cancelled = True  # normal wakeup: the timer is now stale
+        if isinstance(value, _Failure):
+            raise value.exc
         return value
 
     def unpark(self, proc: SimProcess, value: Any = None) -> None:
-        """Make a parked process runnable, delivering ``value`` to it."""
+        """Make a parked process runnable, delivering ``value`` to it.
+
+        A fault plan may delay the delivery (the process stays blocked and a
+        timer completes the wakeup later)."""
         if proc.state is not ProcessState.BLOCKED:
             raise SchedulerStateError(
                 "unpark of non-blocked process {!r}".format(proc.name)
             )
+        if self.fault_plan is not None:
+            delay = self.fault_plan.wake_delay(proc.name)
+            if delay > 0:
+                entry = _TimerEntry(proc, "delayed", payload=value)
+                heapq.heappush(
+                    self._timers, (self._time + delay, self._next_seq(), entry)
+                )
+                self.log("wake_delayed", proc.name, delay)
+                return
+        self._wake(proc, value)
+
+    def _wake(self, proc: SimProcess, value: Any = None) -> None:
+        """Deliver a wakeup immediately (bypasses fault-plan delays)."""
         proc.state = ProcessState.READY
         proc.blocked_on = None
+        proc.wait_obj = None
         proc.set_wake_value(value)
         self._ready.append(proc)
         self.log("unblocked", proc.name)
@@ -166,11 +406,42 @@ class Scheduler:
         if proc is None:
             raise SchedulerStateError("sleep called outside a running process")
         deadline = self._time + ticks
-        heapq.heappush(self._timers, (deadline, self._next_seq(), proc))
+        heapq.heappush(
+            self._timers,
+            (deadline, self._next_seq(), _TimerEntry(proc, "sleep")),
+        )
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = "sleep({})".format(ticks)
-        self.log("blocked", "sleep", ticks)
+        proc.wait_obj = "timer"
         yield
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def fault_drop(self, obj: str) -> bool:
+        """Consulted by V/signal sites: True when the active fault plan
+        wants this signal to vanish.  The call site logs the drop and simply
+        returns without waking anyone."""
+        return self.fault_plan is not None and self.fault_plan.should_drop(obj)
+
+    def _find_alive(self, name: str) -> Optional[SimProcess]:
+        for proc in self._processes:
+            if proc.name == name and proc.alive:
+                return proc
+        return None
+
+    def _fire_pending_faults(self) -> None:
+        """Kill processes doomed by entry triggers or due time-based kills.
+        Runs every loop iteration so even *blocked* processes die on cue."""
+        plan = self.fault_plan
+        for fault in plan.time_kills_due(self._time):
+            victim = self._find_alive(fault.process)
+            if victim is not None and victim is not self._current:
+                self.kill(victim, why=fault.describe())
+        for name in plan.take_doomed():
+            victim = self._find_alive(name)
+            if victim is not None and victim is not self._current:
+                self.kill(victim, why="entered fault point")
 
     # ------------------------------------------------------------------
     # Tracing
@@ -189,6 +460,8 @@ class Scheduler:
         pname = actor.name if actor is not None else "<sched>"
         event = Event(self._next_seq(), self._time, pid, pname, kind, obj, detail)
         self.trace.append(event)
+        if self.fault_plan is not None and actor is not None:
+            self.fault_plan.observe(pname, kind, obj)
         return event
 
     def _next_seq(self) -> int:
@@ -209,10 +482,12 @@ class Scheduler:
         Args:
             on_deadlock: ``"raise"`` (default) raises :class:`DeadlockError`;
                 ``"return"`` ends the run with ``RunResult.deadlocked=True``
-                (used by experiment E7, which *wants* the deadlock).
+                (used by experiment E7, which *wants* the deadlock, and by
+                the chaos explorer).
             on_error: ``"raise"`` wraps a failing process body in
                 :class:`ProcessFailed`; ``"record"`` marks the process FAILED
-                and keeps going.
+                and keeps going.  Either way the failed process's registered
+                crash cleanups run, so survivors keep their locks consistent.
 
         Returns:
             A :class:`RunResult` with the trace and per-process results.
@@ -220,14 +495,21 @@ class Scheduler:
         if self._running:
             raise SchedulerStateError("run() is not reentrant")
         self._running = True
+        if self.fault_plan is not None:
+            self.fault_plan.begin()
         steps = 0
         deadlocked = False
+        graph: Optional[WaitForGraph] = None
         try:
             while True:
                 if steps >= self.max_steps:
                     raise StepLimitExceeded(
-                        "exceeded {} scheduling steps".format(self.max_steps)
+                        "exceeded {} scheduling steps".format(self.max_steps),
+                        recent_events=self.trace[-DIAGNOSTIC_TAIL:],
+                        ready=[p.name for p in self._ready],
                     )
+                if self.fault_plan is not None:
+                    self._fire_pending_faults()
                 if self._live_nondaemons == 0:
                     break  # only daemons remain; the run is over
                 if not self._ready:
@@ -239,13 +521,22 @@ class Scheduler:
                         if p.state is ProcessState.BLOCKED
                     ]
                     if blocked:
+                        graph = self.wait_graph()
                         if on_deadlock == "return":
                             deadlocked = True
                             break
-                        raise DeadlockError(blocked)
+                        raise DeadlockError(blocked, graph)
                     break  # everything finished
                 index = self.policy.choose(self._ready)
                 proc = self._ready.pop(index)
+                if self.fault_plan is not None:
+                    fault = self.fault_plan.kill_due(
+                        proc.name, proc.steps, self._time
+                    )
+                    if fault is not None:
+                        self.kill(proc, why=fault.describe())
+                        steps += 1
+                        continue
                 proc.state = ProcessState.RUNNING
                 self._current = proc
                 try:
@@ -255,11 +546,14 @@ class Scheduler:
                     self.log("failed", proc.name, repr(exc), proc=proc)
                     if not proc.daemon:
                         self._live_nondaemons -= 1
+                    self._current = None
+                    self._run_cleanups(proc)
                     if on_error == "raise":
                         raise ProcessFailed(proc, exc) from exc
                     alive = False
                 finally:
                     self._current = None
+                proc.steps += 1
                 if alive and proc.state is ProcessState.RUNNING:
                     proc.state = ProcessState.READY
                     self._ready.append(proc)
@@ -288,18 +582,50 @@ class Scheduler:
             steps=steps,
             time=self._time,
             results=results,
+            proc_steps={p.name: p.steps for p in self._processes},
+            graph=graph,
         )
 
     def _advance_clock(self) -> None:
-        """Jump virtual time to the earliest timer and wake everything due."""
+        """Jump virtual time to the earliest *live* timer and fire
+        everything due.
+
+        Stale entries — cancelled by a normal wakeup, or belonging to a
+        process that is no longer BLOCKED (already woken, killed, or
+        finished) — are discarded without waking anyone: a process that was
+        already unparked must never be woken a second time by its leftover
+        timer.
+        """
+        while self._timers:
+            __, __, entry = self._timers[0]
+            if entry.cancelled or entry.proc.state is not ProcessState.BLOCKED:
+                heapq.heappop(self._timers)
+                continue
+            break
+        if not self._timers:
+            return
         deadline = self._timers[0][0]
         self._time = deadline
         while self._timers and self._timers[0][0] == deadline:
-            __, __, proc = heapq.heappop(self._timers)
-            proc.state = ProcessState.READY
-            proc.blocked_on = None
-            self._ready.append(proc)
-            self.log("unblocked", proc.name, "timer", proc=proc)
+            __, __, entry = heapq.heappop(self._timers)
+            proc = entry.proc
+            if entry.cancelled or proc.state is not ProcessState.BLOCKED:
+                continue  # stale: woken or killed before the deadline
+            if entry.kind == "sleep":
+                proc.state = ProcessState.READY
+                proc.blocked_on = None
+                proc.wait_obj = None
+                self._ready.append(proc)
+                self.log("unblocked", proc.name, "timer", proc=proc)
+            elif entry.kind == "timeout":
+                handled = entry.on_fire() if entry.on_fire is not None else None
+                self.log("timeout", entry.what, entry.timeout, proc=proc)
+                if handled is not True:
+                    self._wake(
+                        proc, _Failure(WaitTimeout(entry.what, entry.timeout))
+                    )
+            else:  # "delayed" — a fault-plan-postponed wakeup
+                self._wake(proc, entry.payload)
 
 
 def run_processes(
@@ -307,15 +633,26 @@ def run_processes(
     policy: Optional[SchedulingPolicy] = None,
     names: Optional[List[str]] = None,
     on_deadlock: str = "raise",
+    on_error: str = "raise",
     max_steps: int = 500_000,
+    preemptive: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Convenience wrapper: spawn each generator-returning thunk and run.
 
     Each element of ``bodies`` must be a zero-argument callable returning a
     generator (use closures or ``functools.partial`` to bind arguments).
+    All :class:`Scheduler` and :meth:`Scheduler.run` knobs are plumbed
+    through, so callers never need to hand-build a scheduler just to set
+    ``preemptive``, ``on_error``, or a fault plan.
     """
-    sched = Scheduler(policy=policy, max_steps=max_steps)
+    sched = Scheduler(
+        policy=policy,
+        max_steps=max_steps,
+        preemptive=preemptive,
+        fault_plan=fault_plan,
+    )
     for i, body in enumerate(bodies):
         name = names[i] if names else None
         sched.spawn(body, name=name)
-    return sched.run(on_deadlock=on_deadlock)
+    return sched.run(on_deadlock=on_deadlock, on_error=on_error)

@@ -190,6 +190,11 @@ class RunResult:
         steps: number of scheduling steps executed.
         time: final virtual-clock value.
         results: mapping of process name to the value its body returned.
+        proc_steps: per-process step counts — the coordinate space a
+            :class:`~repro.runtime.faults.FaultPlan` kills at, used by the
+            chaos explorer to enumerate fault points.
+        graph: the wait-for graph snapshot when the run ended deadlocked
+            (``None`` otherwise).
     """
 
     trace: Trace
@@ -198,3 +203,14 @@ class RunResult:
     steps: int = 0
     time: int = 0
     results: dict = field(default_factory=dict)
+    proc_steps: dict = field(default_factory=dict)
+    graph: Optional[object] = None
+
+    def failed(self) -> List[str]:
+        """Names of processes that died (killed or raised), recovered from
+        the trace — crash-semantics tests and the chaos oracles read this."""
+        out: List[str] = []
+        for ev in self.trace:
+            if ev.kind in ("killed", "failed") and ev.obj not in out:
+                out.append(ev.obj)
+        return out

@@ -1,5 +1,15 @@
-"""Verification layer (S9): trace oracles and the schedule explorer."""
+"""Verification layer (S9): trace oracles, the schedule explorer, and
+chaos (fault-injection) exploration."""
 
+from .chaos import (
+    ChaosResult,
+    FaultPoint,
+    PointOutcome,
+    chaos_explore,
+    classify_run,
+    enumerate_fault_points,
+    robustness_report,
+)
 from .explorer import ExplorationResult, ScheduleExplorer
 from .liveness import (
     Wait,
@@ -24,7 +34,14 @@ from .oracles import (
 )
 
 __all__ = [
+    "ChaosResult",
     "ExplorationResult",
+    "FaultPoint",
+    "PointOutcome",
+    "chaos_explore",
+    "classify_run",
+    "enumerate_fault_points",
+    "robustness_report",
     "Wait",
     "WaitSummary",
     "check_bounded_waiting",

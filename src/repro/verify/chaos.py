@@ -1,0 +1,414 @@
+"""Chaos exploration: fault injection composed with schedule exploration.
+
+The explorer (:mod:`repro.verify.explorer`) enumerates *schedules*; a
+:class:`~repro.runtime.faults.FaultPlan` injects *crashes*.  This module
+composes the two: for every reachable fault point — each (victim, step)
+coordinate observed in a fault-free baseline run — it re-explores the
+schedule space with a kill injected there, and classifies what the
+mechanism under test did about it:
+
+* **fault-containing** — every run completes; the only casualty is the
+  injected victim; no safety oracle fires.  The mechanism's crash cleanup
+  (release possession, dequeue the dead, repair the semaphore network) kept
+  survivors whole.
+* **fault-propagating** — some survivor also died (e.g. a channel partner
+  woken with :class:`PeerFailed`) or a safety property was violated.  The
+  failure travelled, visibly.
+* **fault-deadlocking** — some run ends with survivors blocked forever
+  (``RunResult.deadlocked``); the wait-for graph names the dead process
+  holding what they wait for.  The classic example: a raw semaphore permit
+  lost with its holder.
+
+:func:`robustness_report` runs one representative scenario per mechanism
+(all six of the paper's evaluation subjects plus the robust-semaphore
+variant) and renders the containment table shown by
+``python -m repro robustness``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..core import ascii_table
+from ..runtime.faults import FaultPlan
+from ..runtime.policies import ScriptedPolicy
+from ..runtime.scheduler import Scheduler
+from ..runtime.trace import RunResult
+from .explorer import ScheduleExplorer
+
+#: A builder runs one *fresh* system under (policy, fault plan) and returns
+#: the result; it must use ``on_deadlock="return"`` / ``on_error="record"``.
+ChaosBuilder = Callable[[ScriptedPolicy, Optional[FaultPlan]], RunResult]
+Checker = Callable[[RunResult], List[str]]
+
+CONTAINING = "fault-containing"
+PROPAGATING = "fault-propagating"
+DEADLOCKING = "fault-deadlocking"
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One kill coordinate: victim ``process`` at its ``step``-th step."""
+
+    process: str
+    step: int
+
+    def describe(self) -> str:
+        return "kill {} at step {}".format(self.process, self.step)
+
+
+@dataclass
+class PointOutcome:
+    """Aggregate over every explored schedule with one fault injected."""
+
+    point: FaultPoint
+    runs: int = 0
+    missed: int = 0  # schedules where the victim finished before the kill
+    contained: int = 0
+    propagated: int = 0
+    deadlocked: int = 0
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of :func:`chaos_explore` for one system under test."""
+
+    name: str
+    victim: str
+    outcomes: List[PointOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return sum(o.runs for o in self.outcomes)
+
+    @property
+    def contained(self) -> int:
+        return sum(o.contained for o in self.outcomes)
+
+    @property
+    def propagated(self) -> int:
+        return sum(o.propagated for o in self.outcomes)
+
+    @property
+    def deadlocked(self) -> int:
+        return sum(o.deadlocked for o in self.outcomes)
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for o in self.outcomes:
+            out.extend(o.violations)
+        return out
+
+    @property
+    def classification(self) -> str:
+        """Worst observed behaviour, precedence deadlocking > propagating >
+        containing — one bad schedule is enough to earn the worse label."""
+        if self.deadlocked:
+            return DEADLOCKING
+        if self.propagated or self.violations:
+            return PROPAGATING
+        return CONTAINING
+
+
+def classify_run(
+    run: RunResult, victim: str, check: Optional[Checker] = None
+) -> Tuple[str, List[str]]:
+    """Classify one faulted run; returns (label, oracle violations).
+
+    ``"missed"`` means the kill never fired in this schedule (the victim
+    finished first) — the run does not count toward the verdict.
+    """
+    failures = run.failed()
+    if victim not in failures:
+        return "missed", []
+    if run.deadlocked:
+        return DEADLOCKING, []
+    extra = [name for name in failures if name != victim]
+    messages = list(check(run)) if check is not None else []
+    if extra or messages:
+        return PROPAGATING, messages
+    # Not deadlocked and nobody else died: every surviving non-daemon ran
+    # to completion (the scheduler cannot end otherwise).
+    return CONTAINING, []
+
+
+def enumerate_fault_points(
+    build: ChaosBuilder, victim: str
+) -> List[FaultPoint]:
+    """Fault points for ``victim``: one per step it takes in a fault-free
+    baseline run (the coordinate space ``RunResult.proc_steps`` records)."""
+    baseline = build(ScriptedPolicy([]), None)
+    steps = baseline.proc_steps.get(victim, 0)
+    return [FaultPoint(victim, s) for s in range(steps)]
+
+
+def chaos_explore(
+    name: str,
+    build: ChaosBuilder,
+    victim: str,
+    check: Optional[Checker] = None,
+    max_runs_per_point: int = 25,
+    max_depth: int = 40,
+    max_points: Optional[int] = None,
+) -> ChaosResult:
+    """Inject a kill at every reachable fault point; explore schedules.
+
+    For each :class:`FaultPoint` a fresh :class:`FaultPlan` kills ``victim``
+    at that step, and a :class:`ScheduleExplorer` (budget
+    ``max_runs_per_point``) varies the interleaving around the crash.  Every
+    run is classified via :func:`classify_run` and aggregated.
+    """
+    points = enumerate_fault_points(build, victim)
+    if max_points is not None:
+        points = points[:max_points]
+    result = ChaosResult(name=name, victim=victim)
+    for point in points:
+        plan = FaultPlan().kill(point.process, at_step=point.step)
+        outcome = PointOutcome(point=point)
+
+        def run_one(policy: ScriptedPolicy) -> RunResult:
+            return build(policy, plan)
+
+        def tally(run: RunResult) -> List[str]:
+            outcome.runs += 1
+            label, messages = classify_run(run, victim, check)
+            if label == "missed":
+                outcome.missed += 1
+            elif label == DEADLOCKING:
+                outcome.deadlocked += 1
+            elif label == PROPAGATING:
+                outcome.propagated += 1
+                outcome.violations.extend(messages)
+            else:
+                outcome.contained += 1
+            return []  # classification is aggregated, not a "violation"
+
+        ScheduleExplorer(
+            run_one, max_runs=max_runs_per_point, max_depth=max_depth
+        ).explore(tally)
+        result.outcomes.append(outcome)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Representative per-mechanism scenarios (the robustness report)
+# ----------------------------------------------------------------------
+def _sem_scenario(crash_release: bool) -> ChaosBuilder:
+    """N processes use Semaphore(1) as a lock around a critical region."""
+    from ..runtime.primitives import Semaphore
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        sem = Semaphore(
+            sched, initial=1, name="s", crash_release=crash_release
+        )
+
+        def worker():
+            yield from sem.p()
+            sched.log("cs", "s")
+            yield from sched.checkpoint()
+            sem.v()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _mutex_scenario() -> ChaosBuilder:
+    from ..runtime.primitives import Mutex
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        lock = Mutex(sched, name="m")
+
+        def worker():
+            yield from lock.acquire()
+            sched.log("cs", "m")
+            yield from sched.checkpoint()
+            lock.release()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _monitor_scenario() -> ChaosBuilder:
+    from ..mechanisms.monitor import Monitor
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        mon = Monitor(sched, name="mon")
+
+        def worker():
+            yield from mon.enter()
+            sched.log("cs", "mon")
+            yield from sched.checkpoint()
+            mon.exit()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _serializer_scenario() -> ChaosBuilder:
+    from ..mechanisms.serializer import Serializer
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        ser = Serializer(sched, name="ser")
+        q = ser.queue("q")
+        crowd = ser.crowd("c")
+
+        def worker():
+            yield from ser.enter()
+            yield from ser.enqueue(q, guarantee=lambda: crowd.empty)
+            yield from ser.join_crowd(crowd)
+            sched.log("cs", "ser")
+            yield from sched.checkpoint()
+            yield from ser.leave_crowd(crowd)
+            ser.exit()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _pathexpr_scenario() -> ChaosBuilder:
+    from ..mechanisms.pathexpr import PathResource
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        res = PathResource(sched, "path work end", name="r")
+
+        def body(r):
+            sched.log("cs", "r.work")
+            yield from sched.checkpoint()
+
+        res.define("work", body)
+
+        def worker():
+            yield from res.invoke("work")
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _channel_scenario() -> ChaosBuilder:
+    """Two rendezvous pairs; killing one peer must not wedge its partner —
+    the partner is *told* (PeerFailed) instead, i.e. the fault propagates."""
+    from ..mechanisms.channels import Channel
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        chan_a = Channel(sched, name="a")
+        chan_b = Channel(sched, name="b")
+
+        def sender(chan):
+            def body():
+                yield from chan.send("msg")
+                sched.log("cs", chan.name)
+            return body
+
+        def receiver(chan):
+            def body():
+                yield from chan.receive()
+                sched.log("cs", chan.name)
+            return body
+
+        chan_a.link(sched.spawn(sender(chan_a), name="P0"))
+        chan_a.link(sched.spawn(receiver(chan_a), name="P1"))
+        chan_b.link(sched.spawn(sender(chan_b), name="P2"))
+        chan_b.link(sched.spawn(receiver(chan_b), name="P3"))
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _cs_exclusion_check(run: RunResult) -> List[str]:
+    """No two ``cs`` log events may be adjacent without an intervening
+    possession change — approximated here as: survivors all reached the
+    critical section at most once (each worker does one pass)."""
+    seen: dict = {}
+    for ev in run.trace.filter(kind="cs"):
+        seen[ev.pname] = seen.get(ev.pname, 0) + 1
+    return [
+        "{} entered the critical region {} times".format(name, count)
+        for name, count in seen.items()
+        if count > 1
+    ]
+
+
+#: (row name, builder factory, victim, oracle, expected classification)
+SCENARIOS = [
+    ("semaphore", lambda: _sem_scenario(False), "P0",
+     _cs_exclusion_check, DEADLOCKING),
+    ("semaphore+crash_release", lambda: _sem_scenario(True), "P0",
+     _cs_exclusion_check, CONTAINING),
+    ("mutex", _mutex_scenario, "P0", _cs_exclusion_check, CONTAINING),
+    ("monitor", _monitor_scenario, "P0", _cs_exclusion_check, CONTAINING),
+    ("serializer", _serializer_scenario, "P0", _cs_exclusion_check,
+     CONTAINING),
+    ("pathexpr", _pathexpr_scenario, "P0", _cs_exclusion_check, CONTAINING),
+    ("channel", _channel_scenario, "P0", None, PROPAGATING),
+]
+
+
+def robustness_report(
+    fast: bool = False,
+) -> Tuple[List[ChaosResult], str]:
+    """Run every per-mechanism chaos scenario; return (results, table).
+
+    ``fast`` trims the schedule budget per fault point (for CI tier-1);
+    the full sweep is what ``python -m repro robustness`` shows.
+    """
+    budget = 6 if fast else 25
+    max_points = 4 if fast else None
+    results = []
+    for name, factory, victim, check, __ in SCENARIOS:
+        results.append(chaos_explore(
+            name,
+            factory(),
+            victim,
+            check=check,
+            max_runs_per_point=budget,
+            max_points=max_points,
+        ))
+    rows = []
+    for res in results:
+        rows.append([
+            res.name,
+            str(len(res.outcomes)),
+            str(res.runs),
+            str(res.contained),
+            str(res.propagated),
+            str(res.deadlocked),
+            res.classification,
+        ])
+    table = ascii_table(
+        ["mechanism", "fault points", "runs", "contained", "propagated",
+         "deadlocked", "classification"],
+        rows,
+        title="Fault containment by mechanism (one kill per point, "
+              "schedules explored per point)",
+    )
+    return results, table
+
+
+def expected_classifications() -> dict:
+    """Scenario name -> the classification the fault model predicts
+    (asserted by the chaos regression tests)."""
+    return {name: expected for name, __, __, __, expected in SCENARIOS}

@@ -1,0 +1,243 @@
+"""Chaos exploration: fault points x schedules, run classification, the
+robustness report, and the explorer-driven T6 safety check.
+
+Fast deterministic subsets run in tier-1; the full sweeps (every fault
+point, full schedule budget) are ``@pytest.mark.slow``.
+"""
+
+import pytest
+
+from repro.problems.one_slot_buffer.impls import (
+    MonitorOneSlotBuffer,
+    PathOneSlotBuffer,
+    SemaphoreOneSlotBuffer,
+    SerializerOneSlotBuffer,
+)
+from repro.runtime import FaultPlan, Scheduler
+from repro.verify import ScheduleExplorer, check_alternation
+from repro.verify.chaos import (
+    CONTAINING,
+    DEADLOCKING,
+    PROPAGATING,
+    ChaosResult,
+    PointOutcome,
+    FaultPoint,
+    chaos_explore,
+    classify_run,
+    enumerate_fault_points,
+    expected_classifications,
+    robustness_report,
+    _mutex_scenario,
+    _sem_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# classify_run
+# ----------------------------------------------------------------------
+def _run_with(plan, bodies, names, **kwargs):
+    sched = Scheduler(fault_plan=plan, preemptive=True)
+    for body, name in zip(bodies, names):
+        sched.spawn(body(sched), name=name)
+    return sched.run(on_deadlock="return", on_error="record", **kwargs)
+
+
+class TestClassifyRun:
+    def _simple_run(self, plan):
+        def victim(sched):
+            def body():
+                for __ in range(4):
+                    yield
+            return body
+        def bystander(sched):
+            def body():
+                yield
+            return body
+        return _run_with(plan, [victim, bystander], ["V", "B"])
+
+    def test_missed_when_kill_never_fires(self):
+        run = self._simple_run(FaultPlan().kill("V", at_step=99))
+        label, messages = classify_run(run, "V")
+        assert label == "missed" and messages == []
+
+    def test_containing_when_only_victim_dies(self):
+        run = self._simple_run(FaultPlan().kill("V", at_step=1))
+        label, __ = classify_run(run, "V")
+        assert label == CONTAINING
+
+    def test_deadlocking_when_survivors_wedge(self):
+        from repro.runtime import Semaphore
+
+        plan = FaultPlan().kill("V", on_entry="s")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        sem = Semaphore(sched, initial=1, name="s")
+
+        def worker():
+            yield from sem.p()
+            yield from sched.checkpoint()
+            sem.v()
+
+        sched.spawn(worker, name="V")
+        sched.spawn(worker, name="B")
+        run = sched.run(on_deadlock="return", on_error="record")
+        label, __ = classify_run(run, "V")
+        assert label == DEADLOCKING
+
+    def test_propagating_when_another_process_dies(self):
+        def victim(sched):
+            def body():
+                yield
+                yield
+            return body
+
+        def collateral(sched):
+            def body():
+                yield
+                yield
+                yield
+                raise RuntimeError("collateral damage")
+            return body
+
+        run = _run_with(
+            FaultPlan().kill("V", at_step=1), [victim, collateral], ["V", "C"]
+        )
+        label, __ = classify_run(run, "V")
+        assert label == PROPAGATING
+
+    def test_propagating_when_oracle_complains(self):
+        run = self._simple_run(FaultPlan().kill("V", at_step=1))
+        label, messages = classify_run(
+            run, "V", check=lambda r: ["constraint broken"]
+        )
+        assert label == PROPAGATING
+        assert messages == ["constraint broken"]
+
+
+# ----------------------------------------------------------------------
+# Fault-point enumeration and aggregation
+# ----------------------------------------------------------------------
+class TestFaultPoints:
+    def test_enumerate_covers_every_victim_step(self):
+        points = enumerate_fault_points(_mutex_scenario(), "P0")
+        assert points  # the victim takes at least one step
+        assert [p.step for p in points] == list(range(len(points)))
+        assert all(p.process == "P0" for p in points)
+
+    def test_chaos_result_classification_precedence(self):
+        result = ChaosResult(name="x", victim="P0")
+        result.outcomes.append(PointOutcome(
+            point=FaultPoint("P0", 0), runs=3, contained=2, propagated=1,
+        ))
+        assert result.classification == PROPAGATING
+        result.outcomes.append(PointOutcome(
+            point=FaultPoint("P0", 1), runs=1, deadlocked=1,
+        ))
+        assert result.classification == DEADLOCKING  # worst outcome wins
+
+
+# ----------------------------------------------------------------------
+# chaos_explore on single scenarios (fast, deterministic)
+# ----------------------------------------------------------------------
+class TestChaosExplore:
+    def test_mutex_scenario_contains_faults(self):
+        result = chaos_explore(
+            "mutex", _mutex_scenario(), "P0",
+            max_runs_per_point=6, max_points=3,
+        )
+        assert result.classification == CONTAINING
+        assert result.contained > 0
+        assert result.propagated == 0 and result.deadlocked == 0
+
+    def test_raw_semaphore_scenario_deadlocks(self):
+        result = chaos_explore(
+            "semaphore", _sem_scenario(crash_release=False), "P0",
+            max_runs_per_point=6, max_points=4,
+        )
+        assert result.classification == DEADLOCKING
+        assert result.deadlocked > 0
+
+    def test_fast_report_matches_fault_model(self):
+        results, table = robustness_report(fast=True)
+        got = {r.name: r.classification for r in results}
+        assert got == expected_classifications()
+        # The table renders one row per scenario plus a header.
+        for r in results:
+            assert r.name in table
+
+
+@pytest.mark.slow
+def test_full_report_matches_fault_model():
+    results, __ = robustness_report(fast=False)
+    got = {r.name: r.classification for r in results}
+    assert got == expected_classifications()
+
+
+# ----------------------------------------------------------------------
+# T6 under fire: one-slot buffer alternation with one injected kill
+# ----------------------------------------------------------------------
+def _buffer_build(impl_cls):
+    """A producer/consumer pair over one buffer; fault-plan-parameterized."""
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        buf = impl_cls(sched, name="slot")
+
+        def producer():
+            for i in range(2):
+                yield from buf.put(i)
+
+        def consumer():
+            for __ in range(2):
+                yield from buf.get()
+
+        sched.spawn(producer, name="Prod")
+        sched.spawn(consumer, name="Cons")
+        return sched.run(on_deadlock="return", on_error="record")
+
+    return build
+
+
+def _assert_alternation_under_kill(impl_cls, runs_per_point, max_points=None):
+    """T6 (slot alternation) must hold in every schedule of every faulted
+    run: a crash may stall the buffer (deadlock) or propagate an integrity
+    error, but a get must never overtake its put."""
+    build = _buffer_build(impl_cls)
+    points = enumerate_fault_points(build, "Prod")
+    assert points
+    if max_points is not None:
+        points = points[:max_points]
+    total = 0
+    for point in points:
+        plan = FaultPlan().kill(point.process, at_step=point.step)
+
+        def check(run):
+            return check_alternation(run.trace, "slot")
+
+        outcome = ScheduleExplorer(
+            lambda policy: build(policy, plan),
+            max_runs=runs_per_point, max_depth=50,
+        ).explore(check)
+        assert outcome.violations == [], (
+            "alternation broke for {} kill at step {}".format(
+                impl_cls.__name__, point.step
+            )
+        )
+        total += outcome.runs
+    assert total >= len(points)  # every point actually explored
+
+
+def test_t6_alternation_survives_kills_monitor_fast():
+    _assert_alternation_under_kill(
+        MonitorOneSlotBuffer, runs_per_point=8, max_points=4
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("impl_cls", [
+    PathOneSlotBuffer,
+    SemaphoreOneSlotBuffer,
+    MonitorOneSlotBuffer,
+    SerializerOneSlotBuffer,
+])
+def test_t6_alternation_survives_kills_all_impls(impl_cls):
+    _assert_alternation_under_kill(impl_cls, runs_per_point=40)

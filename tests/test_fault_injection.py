@@ -1,0 +1,429 @@
+"""Fault-injection runtime: kills, delays, dropped signals, and the
+per-mechanism crash semantics (DESIGN.md "Fault model").
+
+The acceptance bar: killing a process inside any of the six mechanisms must
+never silently wedge the survivors — either they proceed (the mechanism's
+crash cleanup ran) or the run ends in a deadlock whose wait-for graph names
+the dead process.
+"""
+
+import pytest
+
+from repro.mechanisms.channels import Channel
+from repro.mechanisms.monitor import Monitor
+from repro.mechanisms.pathexpr import PathResource
+from repro.mechanisms.serializer import Serializer
+from repro.runtime import (
+    DeadlockError,
+    FaultPlan,
+    Mutex,
+    PeerFailed,
+    ProcessKilled,
+    Scheduler,
+    SchedulerStateError,
+    Semaphore,
+)
+
+
+def _lock_workers(sched, enter, leave, n=3):
+    """Spawn n workers that enter a critical region, log, and leave."""
+    def worker():
+        yield from enter()
+        sched.log("cs", "r")
+        yield from sched.checkpoint()
+        result = leave()
+        if result is not None:  # generator-style exit (yield from)
+            yield from result
+    for i in range(n):
+        sched.spawn(worker, name="P{}".format(i))
+
+
+# ----------------------------------------------------------------------
+# FaultPlan trigger kinds
+# ----------------------------------------------------------------------
+class TestFaultPlanTriggers:
+    def test_kill_at_step(self):
+        plan = FaultPlan().kill("P0", at_step=2)
+        sched = Scheduler(fault_plan=plan)
+
+        def worker():
+            for __ in range(10):
+                yield
+
+        sched.spawn(worker, name="P0")
+        sched.spawn(worker, name="P1")
+        result = sched.run(on_error="record")
+        assert result.failed() == ["P0"]
+        assert result.proc_steps["P0"] == 2  # died before its third step
+        assert result.proc_steps["P1"] == 11
+        assert "P1" in result.results
+
+    def test_kill_on_entry_to_named_object(self):
+        plan = FaultPlan().kill("P0", on_entry="m")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        lock = Mutex(sched, name="m")
+        _lock_workers(sched, lock.acquire, lambda: lock.release())
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.failed() == ["P0"]
+        # The victim died *after* acquiring: the kill is inside the region.
+        assert any(
+            ev.kind == "acquire" and ev.pname == "P0" for ev in result.trace
+        )
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+
+    def test_kill_at_virtual_time_hits_blocked_process(self):
+        plan = FaultPlan().kill("P0", at_time=5)
+        sched = Scheduler(fault_plan=plan)
+
+        def sleeper():
+            yield from sched.sleep(100)
+
+        def clock():
+            yield from sched.sleep(10)
+
+        sched.spawn(sleeper, name="P0")
+        sched.spawn(clock, name="P1")
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.failed() == ["P0"]  # killed while blocked on its timer
+        assert "P1" in result.results
+
+    def test_delay_wakeups(self):
+        plan = FaultPlan().delay_wakeups("P1", ticks=7)
+        sched = Scheduler(fault_plan=plan)
+        sem = Semaphore(sched, initial=0, name="s")
+
+        def waiter():
+            yield from sem.p()
+
+        def signaller():
+            yield
+            sem.v()
+
+        sched.spawn(waiter, name="P1")
+        sched.spawn(signaller, name="P0")
+        result = sched.run()
+        assert result.trace.first(kind="wake_delayed") is not None
+        assert set(result.results) == {"P0", "P1"}
+        assert result.time == 7  # the wakeup arrived late, by the clock
+
+    def test_drop_signal_loses_wakeup(self):
+        plan = FaultPlan().drop_signal("s", nth=1)
+        sched = Scheduler(fault_plan=plan)
+        sem = Semaphore(sched, initial=0, name="s")
+
+        def waiter():
+            yield from sem.p()
+
+        def signaller():
+            yield
+            sem.v()
+
+        sched.spawn(waiter, name="P1")
+        sched.spawn(signaller, name="P0")
+        result = sched.run(on_deadlock="return")
+        assert result.trace.first(kind="fault_drop") is not None
+        assert result.deadlocked and result.blocked == ["P1"]
+
+    def test_kill_requires_exactly_one_coordinate(self):
+        with pytest.raises(ValueError):
+            FaultPlan().kill("P0")
+        with pytest.raises(ValueError):
+            FaultPlan().kill("P0", at_step=1, at_time=2)
+
+    def test_plan_reusable_across_runs(self):
+        plan = FaultPlan().kill("P0", at_step=1)
+        for __ in range(2):  # begin() re-arms fired faults
+            sched = Scheduler(fault_plan=plan)
+
+            def worker():
+                for __ in range(5):
+                    yield
+
+            sched.spawn(worker, name="P0")
+            result = sched.run(on_error="record")
+            assert result.failed() == ["P0"]
+
+
+# ----------------------------------------------------------------------
+# Scheduler.kill contract
+# ----------------------------------------------------------------------
+class TestKill:
+    def test_kill_runs_body_finally(self):
+        sched = Scheduler(fault_plan=FaultPlan().kill("P0", at_step=1))
+        observed = []
+
+        def worker():
+            try:
+                for __ in range(5):
+                    yield
+            finally:
+                observed.append("finally")
+
+        sched.spawn(worker, name="P0")
+        sched.run(on_error="record")
+        assert observed == ["finally"]
+
+    def test_killed_process_carries_exception(self):
+        sched = Scheduler(fault_plan=FaultPlan().kill("P0", at_step=0))
+
+        def worker():
+            yield
+
+        proc = sched.spawn(worker, name="P0")
+        sched.run(on_error="record")
+        assert isinstance(proc.exception, ProcessKilled)
+
+    def test_kill_of_finished_process_rejected(self):
+        sched = Scheduler()
+
+        def worker():
+            yield
+
+        proc = sched.spawn(worker, name="P0")
+        sched.run()
+        with pytest.raises(SchedulerStateError):
+            sched.kill(proc)
+
+
+# ----------------------------------------------------------------------
+# Kill inside the critical region, per mechanism
+# ----------------------------------------------------------------------
+class TestCrashSemantics:
+    """Survivors must progress (or a graph must name the dead)."""
+
+    def test_mutex_holder_death_releases_to_next(self):
+        plan = FaultPlan().kill("P0", on_entry="m")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        lock = Mutex(sched, name="m")
+        _lock_workers(sched, lock.acquire, lambda: lock.release())
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+        released = result.trace.first(
+            kind="release", predicate=lambda ev: ev.detail is not None
+            and "crash_release" in str(ev.detail)
+        )
+        assert released is not None
+
+    def test_raw_semaphore_holder_death_deadlocks_with_named_corpse(self):
+        plan = FaultPlan().kill("P0", on_entry="s")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        sem = Semaphore(sched, initial=1, name="s")
+        _lock_workers(sched, sem.p, lambda: sem.v())
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.deadlocked
+        assert result.graph is not None
+        rendered = result.graph.render()
+        assert "P0[dead]" in rendered  # the corpse is named as holder
+        assert "semaphore s" in rendered
+
+    def test_semaphore_crash_release_contains_the_fault(self):
+        plan = FaultPlan().kill("P0", on_entry="s")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        sem = Semaphore(sched, initial=1, name="s", crash_release=True)
+        _lock_workers(sched, sem.p, lambda: sem.v())
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+
+    def test_semaphore_handoff_window_death_returns_permit(self):
+        # P0 holds; P1 and P2 parked.  P0 Vs (permit granted directly to
+        # P1) and P1 is killed at its resume step — before its p() returns.
+        # The in-flight permit must be re-granted, not lost.
+        plan = FaultPlan().kill("P1", at_step=1)
+        sched = Scheduler(fault_plan=plan)
+        sem = Semaphore(sched, initial=1, name="s")
+
+        def holder():
+            yield from sem.p()
+            yield
+            sem.v()  # direct handoff to the parked P1
+
+        def waiter():
+            yield from sem.p()  # parks: one step completed
+            sem.v()
+
+        sched.spawn(holder, name="P0")
+        sched.spawn(waiter, name="P1")
+        sched.spawn(waiter, name="P2")
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.failed() == ["P1"]
+        assert not result.deadlocked
+        assert set(result.results) == {"P0", "P2"}
+
+    def test_monitor_occupant_death_passes_possession(self):
+        plan = FaultPlan().kill("P0", on_entry="mon")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        mon = Monitor(sched, name="mon")
+        _lock_workers(sched, mon.enter, lambda: mon.exit())
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+
+    def test_monitor_condition_waiter_death_is_dequeued(self):
+        # at_time kills fire even while the victim is blocked on the queue.
+        plan = FaultPlan().kill("P0", at_time=5)
+        sched = Scheduler(fault_plan=plan)
+        mon = Monitor(sched, name="mon")
+        cond = mon.condition("c")
+
+        def waiter():
+            yield from mon.enter()
+            yield from cond.wait()
+            mon.exit()
+
+        def signaller():
+            yield from sched.sleep(10)  # advance the clock past the kill
+            yield from mon.enter()
+            yield from cond.signal()
+            mon.exit()
+
+        sched.spawn(waiter, name="P0")
+        sched.spawn(waiter, name="P1")
+        sched.spawn(signaller, name="P2")
+        result = sched.run(on_deadlock="return", on_error="record")
+        # One waiter died on the condition queue; the signal must wake the
+        # live one, not the corpse.
+        assert "P0" in result.failed()
+        assert "P1" in result.results and "P2" in result.results
+
+    def test_serializer_crowd_member_death_reopens_resource(self):
+        plan = FaultPlan().kill("P0", on_entry="c")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        ser = Serializer(sched, name="ser")
+        q = ser.queue("q")
+        crowd = ser.crowd("c")
+
+        def worker():
+            yield from ser.enter()
+            yield from ser.enqueue(q, guarantee=lambda: crowd.empty)
+            yield from ser.join_crowd(crowd)
+            yield from sched.checkpoint()
+            yield from ser.leave_crowd(crowd)
+            ser.exit()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+        crash_leave = result.trace.first(kind="leave_crowd", obj="c",
+                                         predicate=lambda e: e.detail == "crash")
+        assert crash_leave is not None
+
+    def test_pathexpr_mid_body_death_repairs_network(self):
+        plan = FaultPlan().kill("P0", on_entry="r.work")
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        res = PathResource(sched, "path work end", name="r")
+
+        def body(r):
+            yield from sched.checkpoint()
+
+        res.define("work", body)
+
+        def worker():
+            yield from res.invoke("work")
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert set(result.results) == {"P1", "P2"}
+        assert result.trace.first(kind="path_recover") is not None
+
+    def test_channel_peer_death_delivers_peer_failed(self):
+        plan = FaultPlan().kill("P0", at_step=1)
+        sched = Scheduler(fault_plan=plan)
+        chan = Channel(sched, name="ch")
+        failures = []
+
+        def client():
+            yield
+            yield
+            yield from chan.send("req")
+
+        def server():
+            try:
+                yield from chan.receive()
+            except PeerFailed as exc:
+                failures.append(exc)
+
+        chan.link(sched.spawn(client, name="P0"))
+        chan.link(sched.spawn(server, name="P1"))
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert not result.deadlocked
+        assert len(failures) == 1 and failures[0].peer == "P0"
+        assert "P1" in result.results  # the survivor handled it and finished
+        with pytest.raises(PeerFailed):
+            chan._check_broken()  # the channel stays broken afterwards
+
+    def test_channel_peer_fault_ignore_leaves_graph_to_name_the_dead(self):
+        plan = FaultPlan().kill("P0", at_step=1)
+        sched = Scheduler(fault_plan=plan)
+        chan = Channel(sched, name="ch", peer_fault="ignore")
+
+        def client():
+            yield
+            yield
+            yield from chan.send("req")
+
+        def server():
+            value = yield from chan.receive()
+            return value
+
+        chan.link(sched.spawn(client, name="P0"))
+        chan.link(sched.spawn(server, name="P1"))
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.deadlocked and result.blocked == ["P1"]
+        assert "channel ch" in result.graph.render()
+
+
+# ----------------------------------------------------------------------
+# Wait-for graph diagnosis
+# ----------------------------------------------------------------------
+class TestWaitForGraph:
+    def test_deadlock_error_carries_rendered_graph(self):
+        sched = Scheduler()
+        a = Mutex(sched, name="a")
+        b = Mutex(sched, name="b")
+
+        def one():
+            yield from a.acquire()
+            yield
+            yield from b.acquire()
+
+        def two():
+            yield from b.acquire()
+            yield
+            yield from a.acquire()
+
+        sched.spawn(one, name="P1")
+        sched.spawn(two, name="P2")
+        with pytest.raises(DeadlockError) as info:
+            sched.run()
+        err = info.value
+        assert err.graph is not None
+        text = str(err)
+        assert "wait-for graph" in text
+        assert "cycle:" in text
+        assert "mutex a" in text and "mutex b" in text
+
+    def test_graph_names_dead_process_holding_nothing(self):
+        # Even a corpse with no recorded holds appears in the dead section.
+        plan = FaultPlan().kill("P0", at_step=0)
+        sched = Scheduler(fault_plan=plan)
+        sem = Semaphore(sched, initial=0, name="s")
+
+        def victim():
+            yield
+
+        def waiter():
+            yield from sem.p()
+
+        sched.spawn(victim, name="P0")
+        sched.spawn(waiter, name="P1")
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.deadlocked
+        rendered = result.graph.render()
+        assert "P1" in rendered and "P0" in rendered
