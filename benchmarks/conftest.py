@@ -4,9 +4,19 @@ Every bench module regenerates one row of the DESIGN.md experiment index
 (E1–E10): it *computes* the paper artifact, *asserts* the paper's claim
 about its shape, and *prints* the regenerated table (visible with
 ``pytest benchmarks/ -s`` and in the captured output of failures).
+
+Benches that produce numbers worth keeping (overhead ratios, contention
+profiles) additionally :func:`persist` them to ``benchmarks/BENCH_<name>.json``
+so runs are diffable across commits without scraping pytest output.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
 
 
 def emit(title: str, body: str) -> None:
@@ -16,3 +26,26 @@ def emit(title: str, body: str) -> None:
     print("# " + title)
     print("#" * 72)
     print(body)
+
+
+def persist(name: str, payload: Dict[str, Any]) -> str:
+    """Merge ``payload`` into ``benchmarks/BENCH_<name>.json`` and return
+    the path.
+
+    Top-level keys overwrite; untouched keys survive, so several tests (or
+    several bench modules sharing one report file) can each contribute their
+    own section without clobbering the rest.
+    """
+    path = os.path.join(_HERE, "BENCH_{}.json".format(name))
+    data: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (ValueError, OSError):
+            data = {}
+    data.update(payload)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -13,12 +13,23 @@ Commands:
   chart (``--problem``/``--mechanism`` select the solution).
 * ``robustness``    — chaos-explore every mechanism (kill a process at
   every reachable fault point across schedules) and print the
-  fault-containment table.  ``--fast`` trims the schedule budget.
+  fault-containment table.  ``--fast`` trims the schedule budget;
+  ``--json`` emits machine-readable results.
+* ``profile``       — run one (problem, mechanism) workload under full
+  instrumentation: metrics report, ASCII span timeline, contention bars;
+  ``--export chrome --out trace.json`` writes a Perfetto-loadable trace.
+* ``metrics``       — profile every registered pair (filter with
+  ``--problem``/``--mechanism``) and tabulate the counters side by side.
+
+``--seed`` (where accepted) switches the run to a seeded random scheduling
+policy; omitting it keeps the deterministic FIFO schedule.  ``--json``
+everywhere prints machine-readable output instead of tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -113,7 +124,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     if args.problem not in ("readers_priority", "writers_priority", "rw_fcfs"):
         print("timeline currently supports the readers/writers family")
         return 1
-    result = run_workload(entry.factory, BURST_PLAN)
+    result = run_workload(entry.factory, BURST_PLAN,
+                          policy=_seed_policy(args))
     print(render_timeline(
         result.trace, {"db.read": "R", "db.write": "W"}, width=args.width
     ))
@@ -124,7 +136,6 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     from .verify.chaos import expected_classifications, robustness_report
 
     results, table = robustness_report(fast=args.fast)
-    print(table)
     expected = expected_classifications()
     surprises = [
         "{}: got {}, fault model predicts {}".format(
@@ -133,10 +144,107 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         for r in results
         if r.classification != expected[r.name]
     ]
+    if args.json:
+        print(json.dumps({
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "victim": r.victim,
+                    "runs": r.runs,
+                    "contained": r.contained,
+                    "propagated": r.propagated,
+                    "deadlocked": r.deadlocked,
+                    "violations": r.violations,
+                    "classification": r.classification,
+                    "expected": expected[r.name],
+                }
+                for r in results
+            ],
+            "surprises": surprises,
+        }, indent=2))
+        return 1 if surprises else 0
+    print(table)
     if surprises:
         print("\nUNEXPECTED:", *surprises, sep="\n  ")
         return 1
     print("\nall classifications match the fault model (DESIGN.md)")
+    return 0
+
+
+def _seed_policy(args: argparse.Namespace):
+    """``--seed N`` -> a seeded random policy; None keeps FIFO determinism."""
+    if getattr(args, "seed", None) is None:
+        return None
+    from .runtime.policies import RandomPolicy
+
+    return RandomPolicy(args.seed)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import (
+        ascii_contention,
+        ascii_timeline,
+        profileable,
+        run_profile,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    try:
+        report = run_profile(args.problem, args.mechanism, seed=args.seed)
+    except KeyError:
+        print("no profiling workload for {}/{}; choose one of:".format(
+            args.problem, args.mechanism))
+        for label in profileable():
+            print("  " + label)
+        return 1
+
+    if args.export:
+        out = args.out or "trace.json"
+        label = "{}/{}".format(args.problem, args.mechanism)
+        if args.export == "chrome":
+            write_chrome_trace(out, report.spans, report.result.trace, label)
+        else:
+            write_jsonl(out, report.spans, report.result.trace)
+        if not args.json:
+            print("wrote {} trace to {}".format(args.export, out))
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+        return 0
+
+    print("profile {}/{}{}".format(
+        args.problem, args.mechanism,
+        " (seed {})".format(args.seed) if args.seed is not None else ""))
+    print()
+    print(report.metrics.render())
+    print()
+    print(ascii_timeline(report.spans, width=args.width))
+    print()
+    print(ascii_contention(report.blocked_by_object))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import comparison_table, metrics_suite
+
+    reports = metrics_suite(args.problem, args.mechanism, seed=args.seed)
+    if not reports:
+        print("nothing matches problem={} mechanism={}".format(
+            args.problem, args.mechanism))
+        return 1
+    if args.json:
+        print(json.dumps([
+            {
+                "problem": r.problem,
+                "mechanism": r.mechanism,
+                "seed": r.seed,
+                "metrics": r.metrics.to_dict(),
+            }
+            for r in reports
+        ], indent=2, default=str))
+        return 0
+    print(comparison_table(reports))
     return 0
 
 
@@ -175,6 +283,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--problem", default="readers_priority")
     p_tl.add_argument("--mechanism", default="monitor")
     p_tl.add_argument("--width", type=int, default=72)
+    p_tl.add_argument("--seed", type=int, default=None,
+                      help="seeded random scheduling policy (default: FIFO)")
     p_tl.set_defaults(func=_cmd_timeline)
 
     p_rob = sub.add_parser(
@@ -182,7 +292,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rob.add_argument("--fast", action="store_true",
                        help="trim the per-fault-point schedule budget")
+    p_rob.add_argument("--json", action="store_true",
+                       help="machine-readable output")
     p_rob.set_defaults(func=_cmd_robustness)
+
+    p_prof = sub.add_parser(
+        "profile", help="instrumented run of one (problem, mechanism) pair"
+    )
+    p_prof.add_argument("problem")
+    p_prof.add_argument("mechanism")
+    p_prof.add_argument("--export", choices=("chrome", "jsonl"), default=None,
+                        help="also write the trace in this format")
+    p_prof.add_argument("--out", default=None,
+                        help="export path (default: trace.json)")
+    p_prof.add_argument("--width", type=int, default=72,
+                        help="ASCII timeline width")
+    p_prof.add_argument("--seed", type=int, default=None,
+                        help="seeded random scheduling policy (default: FIFO)")
+    p_prof.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_met = sub.add_parser(
+        "metrics", help="metrics comparison across registered solutions"
+    )
+    p_met.add_argument("--problem", default=None,
+                       help="restrict to one problem")
+    p_met.add_argument("--mechanism", default=None,
+                       help="restrict to one mechanism")
+    p_met.add_argument("--seed", type=int, default=None,
+                       help="seeded random scheduling policy (default: FIFO)")
+    p_met.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_met.set_defaults(func=_cmd_metrics)
 
     return parser
 

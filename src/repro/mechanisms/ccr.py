@@ -95,6 +95,8 @@ class SharedRegion:
         self._arrivals += 1
         self._waiters.append((self._arrivals, me, guard))
         self._waiters.sort(key=lambda item: item[0])
+        self._sched.probe("region", "region {}".format(self.name),
+                          len(self._waiters))
         if self._occupant is None:
             winner = self._pick_eligible()
             if winner is me:
@@ -134,6 +136,8 @@ class SharedRegion:
         for position, (__, proc, guard) in enumerate(self._waiters):
             if self._guard_holds(guard):
                 del self._waiters[position]
+                self._sched.probe("region", "region {}".format(self.name),
+                                  len(self._waiters))
                 return proc
         return None
 

@@ -163,6 +163,7 @@ class Channel:
             )
         self._senders.clear()
         self._receivers.clear()
+        self._probe_offers()
 
     def _check_broken(self) -> None:
         if self.broken:
@@ -175,6 +176,12 @@ class Channel:
                 return offer
         return None
 
+    def _probe_offers(self) -> None:
+        self._sched.probe("channel", "{}.senders".format(self._label),
+                          len(self._senders))
+        self._sched.probe("channel", "{}.receivers".format(self._label),
+                          len(self._receivers))
+
     def _discard_dead(self) -> None:
         self._senders = [o for o in self._senders if o.claimable()]
         self._receivers = [o for o in self._receivers if o.claimable()]
@@ -185,6 +192,7 @@ class Channel:
             self._senders.remove(offer)
         if offer in self._receivers:
             self._receivers.remove(offer)
+        self._probe_offers()
 
     @property
     def senders_waiting(self) -> int:
@@ -218,6 +226,7 @@ class Channel:
         me = self._sched.current
         offer = _Offer(me, "send", value, None, 0)
         self._senders.append(offer)
+        self._probe_offers()
         yield from self._sched.park(
             "send({})".format(self.name), self.name,
             timeout=timeout,
@@ -248,6 +257,7 @@ class Channel:
         me = self._sched.current
         offer = _Offer(me, "recv", None, None, 0)
         self._receivers.append(offer)
+        self._probe_offers()
         value = yield from self._sched.park(
             "recv({})".format(self.name), self.name,
             timeout=timeout,
@@ -274,6 +284,7 @@ class Channel:
             self._senders.remove(offer)
         if offer in self._receivers:
             self._receivers.remove(offer)
+        self._probe_offers()
         if offer.group is not None:
             offer.group.resolved = True
             wake_value = (offer.index, deliver if offer.kind == "recv" else None)
@@ -370,6 +381,7 @@ def select(
             arm.channel._receivers.append(offer)
         else:
             arm.channel._senders.append(offer)
+        arm.channel._probe_offers()
     result = yield from sched.park(
         "select", "select",
         timeout=timeout,

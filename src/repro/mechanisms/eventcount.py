@@ -56,6 +56,8 @@ class EventCount:
         due = [w for w in self._waiters if w[0] <= self._count]
         if due:
             self._waiters = [w for w in self._waiters if w[0] > self._count]
+            self._sched.probe("eventcount", "eventcount {}".format(self.name),
+                              len(self._waiters))
             for __, __, proc in sorted(due):
                 self._sched.unpark(proc)
 
@@ -68,6 +70,8 @@ class EventCount:
         self._arrivals += 1
         self._waiters.append((value, self._arrivals, self._sched.current))
         self._waiters.sort()
+        self._sched.probe("eventcount", "eventcount {}".format(self.name),
+                          len(self._waiters))
         yield from self._sched.park(
             "await({} >= {})".format(self.name, value), self.name
         )

@@ -84,6 +84,14 @@ class Monitor:
         """Number of processes waiting to enter."""
         return len(self._entry)
 
+    def _probe_entry(self) -> None:
+        self._sched.probe("monitor", "{}.entry".format(self._label),
+                          len(self._entry))
+
+    def _probe_urgent(self) -> None:
+        self._sched.probe("monitor", "{}.urgent".format(self._label),
+                          len(self._urgent))
+
     def _require_active(self, what: str) -> SimProcess:
         me = self._sched.current
         if me is None or self._active is not me:
@@ -113,6 +121,7 @@ class Monitor:
             self._sched.log("enter", self.name)
             return
         self._entry.append(me)
+        self._probe_entry()
         self._sched.register_cleanup(self._entry_key, self._on_entry_death)
         try:
             yield from self._sched.park(
@@ -151,8 +160,10 @@ class Monitor:
         """Hand the monitor to the next rightful process, if any."""
         if self._urgent:
             nxt = self._urgent.pop()  # LIFO, per Hoare
+            self._probe_urgent()
         elif self._entry:
             nxt = self._entry.pop(0)
+            self._probe_entry()
         else:
             return
         self._set_active(nxt)
@@ -161,6 +172,7 @@ class Monitor:
     def _discard_entry(self, proc: SimProcess) -> None:
         if proc in self._entry:
             self._entry.remove(proc)
+            self._probe_entry()
 
     def _on_entry_death(self, proc: SimProcess) -> None:
         self._discard_entry(proc)
@@ -168,6 +180,7 @@ class Monitor:
     def _on_urgent_death(self, proc: SimProcess) -> None:
         if proc in self._urgent:
             self._urgent.remove(proc)
+            self._probe_urgent()
 
     def _on_active_death(self, proc: SimProcess) -> None:
         """A dead occupant releases the monitor — survivors proceed."""
@@ -218,6 +231,9 @@ class Condition:
         self._timed_out: Set[int] = set()  # pids granted re-entry by timeout
         self._counter = 0
 
+    def _probe(self) -> None:
+        self._sched.probe("condition", self._label, len(self._waiters))
+
     # ------------------------------------------------------------------
     @property
     def queue(self) -> bool:
@@ -257,6 +273,7 @@ class Condition:
         self._counter += 1
         self._waiters.append((priority, self._counter, me))
         self._waiters.sort(key=lambda item: (item[0], item[1]))
+        self._probe()
         self._sched.log("wait", self.name, priority)
         self._monitor._release_possession(me)
         self._monitor._pass_possession()
@@ -284,6 +301,7 @@ class Condition:
         self._discard_waiter(proc)
         self._timed_out.add(proc.pid)
         self._monitor._entry.append(proc)
+        self._monitor._probe_entry()
         if self._monitor._active is None:
             self._monitor._pass_possession()
         return True
@@ -292,6 +310,7 @@ class Condition:
         for index, (__, __, waiter) in enumerate(self._waiters):
             if waiter is proc:
                 del self._waiters[index]
+                self._probe()
                 return
 
     def _on_waiter_death(self, proc: SimProcess) -> None:
@@ -322,14 +341,17 @@ class Condition:
             self._sched.log("signal", self.name, "empty")
             return
         __, __, waiter = self._waiters.pop(0)
+        self._probe()
         self._sched.log("signal", self.name, "wake:{}".format(waiter.name))
         if self._monitor.signal_semantics == MESA:
             # Signal-and-continue: waiter re-queues for entry.
             self._monitor._entry.append(waiter)
+            self._monitor._probe_entry()
             return
         # Hoare signal-and-urgent-wait: direct possession handoff.
         self._monitor._release_possession(me)
         self._monitor._urgent.append(me)
+        self._monitor._probe_urgent()
         self._monitor._set_active(waiter)
         self._sched.unpark(waiter)
         self._sched.register_cleanup(
@@ -353,6 +375,7 @@ class Condition:
         self._monitor._release_possession(me)
         if self._waiters:
             __, __, waiter = self._waiters.pop(0)
+            self._probe()
             self._monitor._set_active(waiter)
             self._sched.unpark(waiter)
         else:

@@ -170,6 +170,8 @@ class PathResource:
             self._started[op] = self._started.get(op, 0) + 1
             progress["body"] = True
             self._sched.log("op_start", "{}.{}".format(self.name, op))
+            self._sched.probe("path", "path {}.{}".format(self.name, op),
+                              self.active(op))
             self._notify("op_start", op, args)
             body = self._bodies.get(op)
             result = None
@@ -181,6 +183,8 @@ class PathResource:
             self._completed[op] = self._completed.get(op, 0) + 1
             progress["counted"] = True
             self._sched.log("op_end", "{}.{}".format(self.name, op))
+            self._sched.probe("path", "path {}.{}".format(self.name, op),
+                              self.active(op))
             self._notify("op_end", op, args)
             for index, (__, epilogue) in enumerate(pairs):
                 yield from epilogue.execute(timeout=timeout)

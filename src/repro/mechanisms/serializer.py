@@ -56,6 +56,13 @@ class SerializerQueue:
     def __len__(self) -> int:
         return len(self._waiters)
 
+    def _probe(self) -> None:
+        self._serializer._sched.probe(
+            "queue",
+            "queue {}.{}".format(self._serializer.name, self.name),
+            len(self._waiters),
+        )
+
     @property
     def empty(self) -> bool:
         """True when no process waits here (usable inside guarantees)."""
@@ -70,9 +77,11 @@ class SerializerQueue:
 
     def _push(self, proc: SimProcess, guarantee: Guarantee) -> None:
         self._waiters.append((proc, guarantee))
+        self._probe()
 
     def _pop(self) -> SimProcess:
         proc, __ = self._waiters.pop(0)
+        self._probe()
         return proc
 
     def _discard(self, proc: SimProcess) -> None:
@@ -80,6 +89,7 @@ class SerializerQueue:
         for index, (waiter, __) in enumerate(self._waiters):
             if waiter is proc:
                 del self._waiters[index]
+                self._probe()
                 return
 
 
@@ -103,15 +113,18 @@ class SerializerPriorityQueue(SerializerQueue):
         self._arrivals += 1
         self._waiters.append((priority, self._arrivals, proc, guarantee))
         self._waiters.sort(key=lambda item: (item[0], item[1]))
+        self._probe()
 
     def _pop(self) -> SimProcess:
         __, __, proc, __ = self._waiters.pop(0)
+        self._probe()
         return proc
 
     def _discard(self, proc: SimProcess) -> None:
         for index, (__, __, waiter, __) in enumerate(self._waiters):
             if waiter is proc:
                 del self._waiters[index]
+                self._probe()
                 return
 
     def head_eligible(self) -> bool:
@@ -154,6 +167,7 @@ class GuaranteeOrderQueue(SerializerQueue):
         if index is None:  # pragma: no cover - dispatch checks eligibility
             raise IllegalOperationError("pop from ineligible queue")
         proc, __ = self._waiters.pop(index)
+        self._probe()
         return proc
 
 
@@ -243,6 +257,17 @@ class Serializer:
         """Name of the process holding possession, if any."""
         return self._possessor.name if self._possessor else None
 
+    def _probe_entry(self) -> None:
+        self._sched.probe("serializer", "{}.entry".format(self._label),
+                          len(self._entry))
+
+    def _probe_rejoin(self) -> None:
+        self._sched.probe("serializer", "{}.rejoin".format(self._label),
+                          len(self._rejoin))
+
+    def _probe_crowd(self, crowd: "Crowd") -> None:
+        self._sched.probe("crowd", crowd._label, len(crowd._members))
+
     def _require_possession(self, what: str) -> SimProcess:
         me = self._sched.current
         if me is None or self._possessor is not me:
@@ -280,10 +305,12 @@ class Serializer:
     def _on_entry_death(self, proc: SimProcess) -> None:
         if proc in self._entry:
             self._entry.remove(proc)
+            self._probe_entry()
 
     def _on_rejoin_death(self, proc: SimProcess) -> None:
         if proc in self._rejoin:
             self._rejoin.remove(proc)
+            self._probe_rejoin()
 
     def _on_crowd_death(self, crowd: Crowd, proc: SimProcess) -> None:
         """A dead crowd member leaves the crowd, so guarantees such as
@@ -291,6 +318,7 @@ class Serializer:
         if proc not in crowd._members:
             return
         crowd._members.remove(proc)
+        self._probe_crowd(crowd)
         self._sched.note_release(crowd._label, proc)
         self._sched.log("leave_crowd", crowd.name, "crash", proc=proc)
         if self._possessor is None:
@@ -311,6 +339,7 @@ class Serializer:
                 "{} re-entered serializer {}".format(me.name, self.name)
             )
         self._entry.append(me)
+        self._probe_entry()
         if self._possessor is None and self._grant_next(me):
             self._sched.log("enter", self.name)
             return
@@ -389,6 +418,7 @@ class Serializer:
         q._discard(proc)
         self._timed_out.add(proc.pid)
         self._entry.append(proc)
+        self._probe_entry()
         if self._possessor is None:
             self._dispatch()
         return True
@@ -402,6 +432,7 @@ class Serializer:
         """
         me = self._require_possession("join_crowd({})".format(crowd.name))
         crowd._members.append(me)
+        self._probe_crowd(crowd)
         self._sched.note_hold(crowd._label, me)
         self._sched.register_cleanup(
             ("ser_crowd", id(crowd)),
@@ -425,6 +456,7 @@ class Serializer:
                 "{} left crowd {} it never joined".format(me.name, crowd.name)
             )
         self._rejoin.append(me)
+        self._probe_rejoin()
         if self._possessor is None and self._grant_next(me):
             pass  # possession granted synchronously
         else:
@@ -439,6 +471,7 @@ class Serializer:
             finally:
                 self._sched.unregister_cleanup(self._rejoin_key, me)
         crowd._members.remove(me)
+        self._probe_crowd(crowd)
         self._sched.note_release(crowd._label, me)
         self._sched.unregister_cleanup(("ser_crowd", id(crowd)), me)
         self._sched.log("leave_crowd", crowd.name)
@@ -449,12 +482,16 @@ class Serializer:
     def _select_next(self) -> Optional[SimProcess]:
         """Pick who gets possession next; ``None`` when nobody is eligible."""
         if self._rejoin:
-            return self._rejoin.pop(0)
+            nxt = self._rejoin.pop(0)
+            self._probe_rejoin()
+            return nxt
         for q in self._queues:
             if q.head_eligible():
                 return q._pop()
         if self._entry:
-            return self._entry.pop(0)
+            nxt = self._entry.pop(0)
+            self._probe_entry()
+            return nxt
         return None
 
     def _grant_next(self, me: SimProcess) -> bool:

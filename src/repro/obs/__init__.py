@@ -1,0 +1,72 @@
+"""Observability layer: instrumentation sinks, span folding, metrics,
+exporters, and profile runners.
+
+Layered *on top of* the runtime: the runtime never imports this package
+(the scheduler's ``sink`` hook is duck-typed), so ``repro.runtime`` stays
+dependency-free and uninstrumented runs pay nothing.
+
+Quick use::
+
+    from repro.obs import run_profile
+    report = run_profile("bounded_buffer", "monitor")
+    print(report.metrics.render())
+
+or from the command line::
+
+    python -m repro profile bounded_buffer monitor --export chrome \
+        --out /tmp/trace.json
+"""
+
+from .exporters import (
+    ascii_contention,
+    ascii_timeline,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Histogram, ObjectMetrics, RunMetrics, compute_metrics
+from .profiles import (
+    WORKLOADS,
+    ProfileReport,
+    comparison_table,
+    metrics_suite,
+    profileable,
+    run_profile,
+)
+from .sink import InstrumentationSink, MetricsSink, NullSink, RecordingSink
+from .spans import (
+    Span,
+    blocked_time_by_object,
+    fold_spans,
+    max_concurrent,
+    spans_by_kind,
+)
+
+__all__ = [
+    "InstrumentationSink",
+    "NullSink",
+    "MetricsSink",
+    "RecordingSink",
+    "Span",
+    "fold_spans",
+    "spans_by_kind",
+    "blocked_time_by_object",
+    "max_concurrent",
+    "Histogram",
+    "ObjectMetrics",
+    "RunMetrics",
+    "compute_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "ascii_timeline",
+    "ascii_contention",
+    "ProfileReport",
+    "WORKLOADS",
+    "run_profile",
+    "metrics_suite",
+    "comparison_table",
+    "profileable",
+]

@@ -1,0 +1,210 @@
+"""Exporters: Chrome trace-event JSON, JSONL, and ASCII views.
+
+The Chrome export is loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: each simulated process becomes a track (``tid``),
+spans become complete events (``ph: "X"``), and kills/timeouts become
+instant events.  The seq axis is exported as microseconds — in this
+discrete-event runtime seq *is* the clock (virtual time only moves at
+timer jumps), so one seq unit = 1 µs renders faithfully proportioned
+tracks.
+
+JSONL exports one record per line — first the spans, then the raw events —
+for ad-hoc processing with ``jq``/pandas.
+
+The ASCII views need no browser: :func:`ascii_timeline` draws one lane per
+process with possession/blocked/queue glyphs on the seq axis, and
+:func:`ascii_contention` draws a per-object blocked-time bar chart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..runtime.trace import Event, Trace
+from .spans import Span
+
+#: Perfetto category per span kind (used for filtering in the UI).
+_CATEGORIES = {
+    "possession": "possession",
+    "blocked": "wait",
+    "queue": "wait",
+    "crowd": "occupancy",
+    "op_queue": "latency",
+    "service": "latency",
+}
+
+#: instant-event kinds worth flagging on the timeline.
+_INSTANTS = ("killed", "failed", "timeout", "signal", "advance")
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    trace: Optional[Trace] = None,
+    run_label: str = "repro",
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event dict (``{"traceEvents": [...]}``)."""
+    events: List[Dict[str, Any]] = []
+    seen_tids: Dict[int, str] = {}
+
+    for span in spans:
+        if span.pid >= 0:
+            seen_tids.setdefault(span.pid, span.pname)
+        events.append({
+            "name": "%s %s" % (span.kind, span.obj),
+            "cat": _CATEGORIES.get(span.kind, span.kind),
+            "ph": "X",
+            "ts": span.start_seq,
+            # Zero-length spans still need visible extent in the UI.
+            "dur": max(span.duration, 1),
+            "pid": 0,
+            "tid": span.pid if span.pid >= 0 else 0,
+            "args": {
+                "obj": span.obj,
+                "outcome": span.outcome,
+                "detail": span.detail,
+                "start_time": span.start_time,
+                "end_time": span.end_time,
+            },
+        })
+
+    if trace is not None:
+        for ev in trace:
+            if ev.kind not in _INSTANTS:
+                continue
+            if ev.pid >= 0:
+                seen_tids.setdefault(ev.pid, ev.pname)
+            events.append({
+                "name": "%s %s" % (ev.kind, ev.obj),
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",
+                "ts": ev.seq,
+                "pid": 0,
+                "tid": ev.pid if ev.pid >= 0 else 0,
+                "args": {"detail": str(ev.detail)},
+            })
+
+    metadata: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": run_label},
+    }]
+    for tid, pname in sorted(seen_tids.items()):
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": pname},
+        })
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "seq", "source": run_label},
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    trace: Optional[Trace] = None,
+    run_label: str = "repro",
+) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans, trace, run_label), fh, indent=1)
+
+
+def jsonl_lines(
+    spans: Sequence[Span],
+    trace: Optional[Trace] = None,
+) -> Iterable[str]:
+    """One JSON record per line: spans first, then raw events."""
+    for span in spans:
+        record = span.to_dict()
+        record["record"] = "span"
+        yield json.dumps(record, default=str)
+    if trace is not None:
+        for ev in trace:
+            record = ev.to_dict() if hasattr(ev, "to_dict") else {
+                "seq": ev.seq, "time": ev.time, "pid": ev.pid,
+                "pname": ev.pname, "kind": ev.kind, "obj": ev.obj,
+                "detail": ev.detail,
+            }
+            record["record"] = "event"
+            yield json.dumps(record, default=str)
+
+
+def write_jsonl(
+    path: str,
+    spans: Sequence[Span],
+    trace: Optional[Trace] = None,
+) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(spans, trace):
+            fh.write(line + "\n")
+
+
+# ----------------------------------------------------------------------
+# ASCII views
+# ----------------------------------------------------------------------
+_GLYPHS = {"possession": "#", "blocked": ".", "queue": "~",
+           "crowd": "=", "service": "#", "op_queue": "."}
+#: which kinds share a lane, in paint order (later overpaints earlier).
+_LANE_ORDER = ("op_queue", "queue", "blocked", "crowd",
+               "service", "possession")
+
+
+def ascii_timeline(spans: Sequence[Span], width: int = 72) -> str:
+    """One lane per process: ``#`` held/serving, ``.`` blocked,
+    ``~`` in queue, ``=`` in crowd, scaled onto ``width`` columns of the
+    seq axis."""
+    drawable = [s for s in spans if s.pid >= 0 and s.kind in _GLYPHS]
+    if not drawable:
+        return "(no spans)"
+    lo = min(s.start_seq for s in drawable)
+    hi = max(max(s.end_seq, s.start_seq + 1) for s in drawable)
+    span_range = max(hi - lo, 1)
+
+    def col(seq: int) -> int:
+        return min(width - 1, (seq - lo) * width // span_range)
+
+    order = {kind: rank for rank, kind in enumerate(_LANE_ORDER)}
+    by_proc: Dict[int, List[Span]] = {}
+    names: Dict[int, str] = {}
+    for span in drawable:
+        by_proc.setdefault(span.pid, []).append(span)
+        names.setdefault(span.pid, span.pname)
+
+    label_width = max(len(n) for n in names.values())
+    lines = ["%s  seq %d..%d  (# held  . blocked  ~ queued  = crowd)"
+             % (" " * label_width, lo, hi)]
+    for pid in sorted(by_proc):
+        lane = [" "] * width
+        for span in sorted(by_proc[pid],
+                           key=lambda s: order.get(s.kind, 0)):
+            glyph = _GLYPHS[span.kind]
+            start = col(span.start_seq)
+            end = max(col(max(span.end_seq, span.start_seq + 1)), start + 1)
+            for i in range(start, min(end, width)):
+                lane[i] = glyph
+            if span.outcome == "crashed" and end - 1 < width:
+                lane[end - 1] = "X"
+            elif span.outcome == "leaked" and end - 1 < width:
+                lane[end - 1] = "?"
+        lines.append("%-*s |%s|" % (label_width, names[pid], "".join(lane)))
+    return "\n".join(lines)
+
+
+def ascii_contention(totals: Dict[str, int], width: int = 40) -> str:
+    """Horizontal bar chart of blocked time per object (seq units)."""
+    if not totals:
+        return "(no blocking observed)"
+    label_width = max(len(name) for name in totals)
+    peak = max(totals.values()) or 1
+    lines = []
+    for name, value in sorted(totals.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1 if value else 0, value * width // peak)
+        lines.append("%-*s %6d %s" % (label_width, name, value, bar))
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Metrics: counters, gauges, and histograms computed from a run.
+
+:func:`compute_metrics` folds a :class:`~repro.runtime.trace.RunResult`
+(plus the spans from :mod:`repro.obs.spans` and, when available, the live
+counters of a :class:`~repro.obs.sink.MetricsSink`) into a
+:class:`RunMetrics` report:
+
+* **run counters** — scheduling steps, context switches, trace events,
+  handoffs, kills, timeouts;
+* **per-object metrics** — acquisitions, total blocked time, wait-time
+  percentiles (p50/p90/max), max queue depth, and the contention ratio
+  (fraction of acquisitions that had to wait);
+* **per-operation latency** — queue (request → start) and service
+  (start → end) histograms keyed by ``"<resource>.<op>"``.
+
+All durations are on the ``seq`` axis — the total event order is the
+meaningful clock in this discrete-event runtime (virtual time only advances
+at timer jumps).  Reports are comparable across mechanisms on the same
+problem workload, which is what ``python -m repro metrics`` tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..runtime.trace import RunResult
+from .sink import MetricsSink
+from .spans import Span, max_concurrent
+
+
+class Histogram:
+    """A tiny exact-values histogram: stores observations, answers
+    percentile queries.  Workloads here are small (hundreds of events), so
+    exactness beats bucketing."""
+
+    def __init__(self) -> None:
+        self.values: List[int] = []
+
+    def observe(self, value: int) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def max(self) -> int:
+        return max(self.values) if self.values else 0
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile (q in [0, 100])."""
+        if not self.values:
+            return 0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "max": self.max,
+        }
+
+
+@dataclass
+class ObjectMetrics:
+    """Contention metrics for one synchronization object (monitor,
+    serializer queue, semaphore, region, channel...)."""
+
+    obj: str
+    acquisitions: int = 0
+    contended: int = 0
+    blocked_total: int = 0
+    max_queue_depth: int = 0
+    wait: Histogram = field(default_factory=Histogram)
+    hold: Histogram = field(default_factory=Histogram)
+    #: queue-residency durations (wait → proceed/signal) — kept separate
+    #: from ``wait``: a condition wait logs both a blocked interval and a
+    #: queue interval on the same object, and summing them double-counts.
+    residency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to block first."""
+        if self.acquisitions == 0:
+            # Pure wait points (conditions, eventcounts) have no
+            # acquisitions; report contention as 1.0 if anyone waited.
+            return 1.0 if self.contended else 0.0
+        return self.contended / self.acquisitions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "obj": self.obj,
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+            "contention_ratio": round(self.contention_ratio, 4),
+            "blocked_total": self.blocked_total,
+            "max_queue_depth": self.max_queue_depth,
+            "wait": self.wait.to_dict(),
+            "hold": self.hold.to_dict(),
+            "residency": self.residency.to_dict(),
+        }
+
+
+@dataclass
+class RunMetrics:
+    """The full metrics report for one run."""
+
+    steps: int = 0
+    context_switches: int = 0
+    events: int = 0
+    handoffs: int = 0
+    kills: int = 0
+    timeouts: int = 0
+    deadlocked: bool = False
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    objects: Dict[str, ObjectMetrics] = field(default_factory=dict)
+    operations: Dict[str, Dict[str, Histogram]] = field(default_factory=dict)
+
+    def object_metrics(self, obj: str) -> ObjectMetrics:
+        metrics = self.objects.get(obj)
+        if metrics is None:
+            metrics = self.objects[obj] = ObjectMetrics(obj)
+        return metrics
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "steps": self.steps,
+            "context_switches": self.context_switches,
+            "events": self.events,
+            "handoffs": self.handoffs,
+            "kills": self.kills,
+            "timeouts": self.timeouts,
+            "deadlocked": self.deadlocked,
+            "kind_counts": dict(self.kind_counts),
+            "objects": {
+                name: m.to_dict() for name, m in sorted(self.objects.items())
+            },
+            "operations": {
+                op: {half: h.to_dict() for half, h in halves.items()}
+                for op, halves in sorted(self.operations.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "run: steps=%d switches=%d events=%d handoffs=%d "
+            "kills=%d timeouts=%d%s"
+            % (self.steps, self.context_switches, self.events, self.handoffs,
+               self.kills, self.timeouts,
+               " DEADLOCK" if self.deadlocked else ""),
+        ]
+        if self.objects:
+            lines.append("")
+            lines.append("  %-28s %5s %5s %6s %6s %6s %6s %5s"
+                         % ("object", "acq", "cont", "ratio",
+                            "blkd", "w-p50", "w-p90", "maxQ"))
+            for name in sorted(self.objects):
+                m = self.objects[name]
+                lines.append(
+                    "  %-28s %5d %5d %6.2f %6d %6d %6d %5d"
+                    % (name[:28], m.acquisitions, m.contended,
+                       m.contention_ratio, m.blocked_total,
+                       m.wait.percentile(50), m.wait.percentile(90),
+                       m.max_queue_depth))
+        if self.operations:
+            lines.append("")
+            lines.append("  %-28s %5s %6s %6s %6s %6s"
+                         % ("operation", "n", "q-p50", "q-max",
+                            "s-p50", "s-max"))
+            for op in sorted(self.operations):
+                halves = self.operations[op]
+                queue = halves.get("queue", Histogram())
+                service = halves.get("service", Histogram())
+                lines.append(
+                    "  %-28s %5d %6d %6d %6d %6d"
+                    % (op[:28], service.count or queue.count,
+                       queue.percentile(50), queue.max,
+                       service.percentile(50), service.max))
+        return "\n".join(lines)
+
+
+def compute_metrics(
+    result: RunResult,
+    spans: Iterable[Span],
+    sink: Optional[MetricsSink] = None,
+) -> RunMetrics:
+    """Aggregate a run into :class:`RunMetrics`.
+
+    With a live ``sink``, step/switch counts and probed max queue depths are
+    exact; without one (e.g. analysing a re-imported trace) they are derived
+    from the trace and the blocked-span sweep, which under-counts steps but
+    keeps every contention metric intact.
+    """
+    metrics = RunMetrics(deadlocked=result.deadlocked)
+    span_list = list(spans)
+
+    # --- run counters ---------------------------------------------------
+    for ev in result.trace:
+        metrics.events += 1
+        metrics.kind_counts[ev.kind] = metrics.kind_counts.get(ev.kind, 0) + 1
+        if isinstance(ev.detail, str) and "handoff" in ev.detail:
+            metrics.handoffs += 1
+    metrics.kills = metrics.kind_counts.get("killed", 0)
+    metrics.timeouts = metrics.kind_counts.get("timeout", 0)
+    if sink is not None:
+        metrics.steps = sink.steps
+        metrics.context_switches = sink.context_switches
+    else:
+        metrics.steps = result.steps
+        # Without dispatch samples, each unblock is a switch lower bound.
+        metrics.context_switches = metrics.kind_counts.get("unblocked", 0)
+
+    # --- per-object contention from spans -------------------------------
+    for span in span_list:
+        if span.kind == "blocked":
+            m = metrics.object_metrics(span.obj)
+            m.contended += 1
+            m.blocked_total += span.duration
+            m.wait.observe(span.duration)
+        elif span.kind == "possession":
+            m = metrics.object_metrics(span.obj)
+            # Count an acquisition once per (proc, obj, first segment);
+            # resumed segments are the same logical acquisition.
+            if span.detail != "resumed":
+                m.acquisitions += 1
+            m.hold.observe(span.duration)
+        elif span.kind == "queue":
+            metrics.object_metrics(span.obj).residency.observe(span.duration)
+        elif span.kind == "op_queue":
+            halves = metrics.operations.setdefault(
+                span.obj, {"queue": Histogram(), "service": Histogram()})
+            halves["queue"].observe(span.duration)
+        elif span.kind == "service":
+            halves = metrics.operations.setdefault(
+                span.obj, {"queue": Histogram(), "service": Histogram()})
+            halves["service"].observe(span.duration)
+
+    # --- queue depth: probed gauges beat the span sweep -----------------
+    depth_from_spans = max_concurrent(span_list, "blocked")
+    for name, peak in depth_from_spans.items():
+        metrics.object_metrics(name).max_queue_depth = peak
+    if sink is not None:
+        for name, peak in sink.max_depth.items():
+            m = metrics.object_metrics(name)
+            m.max_queue_depth = max(m.max_queue_depth, peak)
+    return metrics

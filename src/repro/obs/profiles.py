@@ -1,0 +1,192 @@
+"""Profile runners: instrumented workload executions per (problem,
+mechanism).
+
+:func:`run_profile` builds an instrumented :class:`Scheduler` (a
+:class:`~repro.obs.sink.RecordingSink` attached), injects it into the
+problem's standard workload via the ``sched=`` parameter every run helper
+accepts, and folds the resulting trace into spans and metrics — one call
+yields everything the CLI ``profile`` / ``metrics`` commands print or
+export.
+
+The workload per problem is the same one the oracles and benchmarks use
+(the registry's canonical shape), so profiles are directly comparable with
+correctness results.  ``seed`` switches the scheduler to a seeded
+:class:`~repro.runtime.policies.RandomPolicy` to profile a perturbed
+interleaving; the default is the deterministic FIFO schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..problems import (
+    alarm_clock,
+    bounded_buffer,
+    disk_scheduler,
+    fcfs_resource,
+    one_slot_buffer,
+    staged_queue,
+)
+from ..problems import readers_writers as rw
+from ..problems.registry import REGISTRY, get_solution, solutions_for
+from ..runtime.policies import RandomPolicy, SchedulingPolicy
+from ..runtime.scheduler import Scheduler
+from ..runtime.trace import RunResult
+from .metrics import RunMetrics, compute_metrics
+from .sink import RecordingSink
+from .spans import Span, blocked_time_by_object, fold_spans
+
+
+def _run_bounded_buffer(factory, sched: Scheduler) -> RunResult:
+    result, __, __ = bounded_buffer.run_producers_consumers(
+        factory, producers=3, consumers=3, items_each=4, sched=sched)
+    return result
+
+
+def _run_one_slot(factory, sched: Scheduler) -> RunResult:
+    result, __ = one_slot_buffer.run_ping_pong(
+        factory, rounds=12, producers=3, consumers=3, sched=sched)
+    return result
+
+
+def _run_fcfs(factory, sched: Scheduler) -> RunResult:
+    return fcfs_resource.run_contenders(
+        factory, contenders=6, rounds=2, sched=sched)
+
+
+def _run_rw(factory, sched: Scheduler) -> RunResult:
+    return rw.run_workload(factory, rw.BURST_PLAN, sched=sched)
+
+
+def _run_disk(factory, sched: Scheduler) -> RunResult:
+    result, __ = disk_scheduler.run_requests(factory, sched=sched)
+    return result
+
+
+def _run_alarm(factory, sched: Scheduler) -> RunResult:
+    result, __ = alarm_clock.run_sleepers(factory, sched=sched)
+    return result
+
+
+def _run_staged(factory, sched: Scheduler) -> RunResult:
+    return staged_queue.run_classes(factory, sched=sched)
+
+
+#: problem name -> runner(factory, sched) -> RunResult.  Readers/writers
+#: problems share one workload shape.
+WORKLOADS: Dict[str, Callable[[Any, Scheduler], RunResult]] = {
+    "bounded_buffer": _run_bounded_buffer,
+    "one_slot_buffer": _run_one_slot,
+    "fcfs_resource": _run_fcfs,
+    "readers_priority": _run_rw,
+    "writers_priority": _run_rw,
+    "rw_fcfs": _run_rw,
+    "disk_scheduler": _run_disk,
+    "alarm_clock": _run_alarm,
+    "staged_queue": _run_staged,
+}
+
+
+@dataclass
+class ProfileReport:
+    """Everything one instrumented run produced."""
+
+    problem: str
+    mechanism: str
+    result: RunResult
+    spans: List[Span]
+    metrics: RunMetrics
+    sink: RecordingSink
+    seed: Optional[int] = None
+
+    @property
+    def blocked_by_object(self) -> Dict[str, int]:
+        return blocked_time_by_object(self.spans)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "problem": self.problem,
+            "mechanism": self.mechanism,
+            "seed": self.seed,
+            "metrics": self.metrics.to_dict(),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+def profileable() -> List[str]:
+    """``problem/mechanism`` labels with both a registry entry and a
+    workload runner."""
+    return [
+        "{}/{}".format(entry.problem, entry.mechanism)
+        for entry in sorted(REGISTRY.values(), key=lambda e: e.key)
+        if entry.problem in WORKLOADS
+    ]
+
+
+def run_profile(
+    problem: str,
+    mechanism: str,
+    seed: Optional[int] = None,
+    policy: Optional[SchedulingPolicy] = None,
+) -> ProfileReport:
+    """Run the canonical workload for ``(problem, mechanism)`` under full
+    instrumentation; raises ``KeyError`` for unknown pairs."""
+    entry = get_solution(problem, mechanism)
+    runner = WORKLOADS.get(problem)
+    if runner is None:
+        raise KeyError("no profiling workload for problem {!r}".format(problem))
+    if policy is None and seed is not None:
+        policy = RandomPolicy(seed)
+    sink = RecordingSink()
+    sched = Scheduler(policy=policy, sink=sink)
+    result = runner(entry.factory, sched)
+    spans = fold_spans(result.trace)
+    metrics = compute_metrics(result, spans, sink)
+    return ProfileReport(
+        problem=problem,
+        mechanism=mechanism,
+        result=result,
+        spans=spans,
+        metrics=metrics,
+        sink=sink,
+        seed=seed,
+    )
+
+
+def metrics_suite(
+    problem: Optional[str] = None,
+    mechanism: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> List[ProfileReport]:
+    """Profile every registered (problem, mechanism) pair matching the
+    filters — the cross-mechanism comparison ``python -m repro metrics``
+    tabulates."""
+    reports = []
+    for entry in solutions_for(problem, mechanism):
+        if entry.problem not in WORKLOADS:
+            continue
+        reports.append(run_profile(entry.problem, entry.mechanism, seed=seed))
+    return reports
+
+
+def comparison_table(reports: List[ProfileReport]) -> str:
+    """One row per profiled pair: the headline counters side by side."""
+    if not reports:
+        return "(nothing profiled)"
+    lines = [
+        "%-18s %-12s %6s %7s %7s %6s %7s %6s"
+        % ("problem", "mechanism", "steps", "switch", "events",
+           "blkd", "handoff", "maxQ"),
+    ]
+    for report in reports:
+        m = report.metrics
+        blocked_total = sum(report.blocked_by_object.values())
+        max_queue = max(
+            (om.max_queue_depth for om in m.objects.values()), default=0)
+        lines.append(
+            "%-18s %-12s %6d %7d %7d %6d %7d %6d"
+            % (report.problem[:18], report.mechanism[:12], m.steps,
+               m.context_switches, m.events, blocked_total, m.handoffs,
+               max_queue))
+    return "\n".join(lines)

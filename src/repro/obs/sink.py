@@ -1,0 +1,145 @@
+"""Instrumentation sinks: the runtime's publish side of observability.
+
+The :class:`~repro.runtime.scheduler.Scheduler` publishes three streams to
+an attached sink:
+
+* :meth:`InstrumentationSink.on_event` — every trace event, as it is logged;
+* :meth:`InstrumentationSink.on_step` — every scheduling step (a process is
+  handed the virtual CPU), which is how context switches become countable
+  without bloating the trace with one event per step;
+* :meth:`InstrumentationSink.on_probe` — gauge samples published by the
+  mechanisms themselves (queue depths, crowd sizes, waiter counts), labelled
+  with the mechanism-specific object (``"condition buf.nonempty"``,
+  ``"queue ser.readq"``, ``"semaphore fullslots"``), via
+  :meth:`~repro.runtime.scheduler.Scheduler.probe`.
+
+**Zero-overhead null sink.**  The scheduler stores ``sink=None`` for the
+uninstrumented case and guards every publish with a single ``is not None``
+check; passing :class:`NullSink` is normalized to ``None`` at construction
+(the class carries ``IS_NULL = True``), so an uninstrumented run executes the
+*identical* code path — it pays nothing, not even no-op method calls.  This
+is the property ``benchmarks/bench_observability.py`` measures.
+
+:class:`MetricsSink` aggregates counters online (cheap, O(1) per publish);
+:class:`RecordingSink` additionally keeps the raw sample/step timelines the
+contention analysis and exporters consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class InstrumentationSink:
+    """Base protocol: every hook is a no-op; subclasses override what they
+    need.  Hooks must be non-blocking and must never raise — they run inside
+    the scheduler's hot loop."""
+
+    #: Sinks flagged ``IS_NULL`` are normalized to ``None`` by the scheduler,
+    #: making them literally free (see module docstring).
+    IS_NULL = False
+
+    def on_event(self, event) -> None:
+        """One trace :class:`~repro.runtime.trace.Event` was logged."""
+
+    def on_step(self, proc, seq: int, time: int) -> None:
+        """``proc`` was dispatched for one run-to-yield step."""
+
+    def on_probe(
+        self, category: str, obj: str, value: Any, seq: int, time: int
+    ) -> None:
+        """A mechanism published a gauge sample (e.g. queue depth)."""
+
+    def on_run_end(self, result) -> None:
+        """The run finished; ``result`` is the
+        :class:`~repro.runtime.trace.RunResult`."""
+
+
+class NullSink(InstrumentationSink):
+    """The do-nothing sink.  Attaching it is exactly equivalent to attaching
+    no sink at all: the scheduler normalizes it to ``None`` and skips every
+    publish site (see module docstring)."""
+
+    IS_NULL = True
+
+
+class MetricsSink(InstrumentationSink):
+    """Online counters: context switches, dispatch steps, event-kind tallies,
+    and per-object maximum queue depth.  O(1) work per publish; suitable for
+    always-on instrumentation."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.context_switches = 0
+        self.events = 0
+        self.kind_counts: Dict[str, int] = {}
+        #: per probed object: highest gauge value ever seen.
+        self.max_depth: Dict[str, int] = {}
+        #: per probed object: number of samples published.
+        self.probe_counts: Dict[str, int] = {}
+        self._last_pid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_event(self, event) -> None:
+        self.events += 1
+        self.kind_counts[event.kind] = self.kind_counts.get(event.kind, 0) + 1
+
+    def on_step(self, proc, seq: int, time: int) -> None:
+        self.steps += 1
+        if self._last_pid is not None and self._last_pid != proc.pid:
+            self.context_switches += 1
+        self._last_pid = proc.pid
+
+    def on_probe(
+        self, category: str, obj: str, value: Any, seq: int, time: int
+    ) -> None:
+        self.probe_counts[obj] = self.probe_counts.get(obj, 0) + 1
+        try:
+            depth = int(value)
+        except (TypeError, ValueError):
+            return
+        if depth > self.max_depth.get(obj, 0):
+            self.max_depth[obj] = depth
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Counters as plain JSON-ready data."""
+        return {
+            "steps": self.steps,
+            "context_switches": self.context_switches,
+            "events": self.events,
+            "kind_counts": dict(self.kind_counts),
+            "max_depth": dict(self.max_depth),
+        }
+
+
+class RecordingSink(MetricsSink):
+    """Full recording: everything :class:`MetricsSink` counts, plus the raw
+    probe-sample timeline (``(seq, time, category, obj, value)``) and the
+    dispatch timeline (``(seq, time, pid, pname)``).  This is what
+    ``python -m repro profile`` attaches; it trades memory for the ability
+    to reconstruct queue-depth and contention timelines exactly."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.samples: List[Tuple[int, int, str, str, Any]] = []
+        self.dispatches: List[Tuple[int, int, int, str]] = []
+
+    def on_step(self, proc, seq: int, time: int) -> None:
+        super().on_step(proc, seq, time)
+        self.dispatches.append((seq, time, proc.pid, proc.name))
+
+    def on_probe(
+        self, category: str, obj: str, value: Any, seq: int, time: int
+    ) -> None:
+        super().on_probe(category, obj, value, seq, time)
+        self.samples.append((seq, time, category, obj, value))
+
+    # ------------------------------------------------------------------
+    def depth_timeline(self, obj: str) -> List[Tuple[int, int]]:
+        """``(seq, depth)`` samples for one probed object, in seq order."""
+        return [
+            (seq, value)
+            for seq, __, __, sample_obj, value in self.samples
+            if sample_obj == obj
+        ]

@@ -22,13 +22,15 @@ DEFAULT_DELAYS = (5, 2, 9, 2, 7, 1, 4)
 
 
 def run_sleepers(factory, delays: Sequence[int] = DEFAULT_DELAYS,
-                 policy=None):
+                 policy=None, sched=None):
     """Spawn one sleeper per delay plus the ticker; returns (result, wakes).
 
     The ticker ticks once per unit of virtual time until every sleeper's
-    deadline has passed.  Wake order is recorded for assertions.
+    deadline has passed.  Wake order is recorded for assertions.  ``sched``
+    injects a pre-built (e.g. instrumented) scheduler.
     """
-    sched = Scheduler(policy=policy)
+    if sched is None:
+        sched = Scheduler(policy=policy)
     impl = factory(sched)
     wakes: List[int] = []
     horizon = max(delays) + 1

@@ -24,9 +24,13 @@ def run_producers_consumers(
     consumers: int = 2,
     items_each: int = 5,
     policy: Optional[SchedulingPolicy] = None,
+    sched: Optional[Scheduler] = None,
 ):
-    """Spawn producers/consumers; returns (result, produced, consumed)."""
-    sched = Scheduler(policy=policy)
+    """Spawn producers/consumers; returns (result, produced, consumed).
+    ``sched`` injects a pre-built (e.g. instrumented) scheduler; ``policy``
+    is ignored then."""
+    if sched is None:
+        sched = Scheduler(policy=policy)
     impl = factory(sched)
     produced: List[int] = []
     consumed: List[int] = []

@@ -35,9 +35,11 @@ def random_plan(seed: int, requests: int = 12, tracks: int = 200,
 
 
 def run_requests(factory, plan: Sequence[Tuple[int, int]] = tuple(DEFAULT_PLAN),
-                 policy=None):
-    """One process per (delay, track) request."""
-    sched = Scheduler(policy=policy)
+                 policy=None, sched=None):
+    """One process per (delay, track) request.  ``sched`` injects a
+    pre-built (e.g. instrumented) scheduler; ``policy`` is ignored then."""
+    if sched is None:
+        sched = Scheduler(policy=policy)
     impl = factory(sched)
 
     def requester(delay: int, track: int):

@@ -19,9 +19,11 @@ from .impls import (
 
 
 def run_ping_pong(factory, rounds: int = 6, producers: int = 2,
-                  consumers: int = 2, policy=None):
-    """Contending producers and consumers over one slot."""
-    sched = Scheduler(policy=policy)
+                  consumers: int = 2, policy=None, sched=None):
+    """Contending producers and consumers over one slot.  ``sched`` injects
+    a pre-built (e.g. instrumented) scheduler; ``policy`` is ignored then."""
+    if sched is None:
+        sched = Scheduler(policy=policy)
     impl = factory(sched)
     consumed: List[object] = []
     per_producer = rounds // producers

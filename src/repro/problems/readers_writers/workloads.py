@@ -56,10 +56,13 @@ def run_workload(
     factory: Factory,
     plan: Sequence[Step],
     policy: Optional[SchedulingPolicy] = None,
+    sched: Optional[Scheduler] = None,
 ) -> RunResult:
     """Run one plan against a fresh solution; deadlocks are returned, not
-    raised, so verifiers can report them as violations."""
-    sched = Scheduler(policy=policy)
+    raised, so verifiers can report them as violations.  ``sched`` injects
+    a pre-built (e.g. instrumented) scheduler; ``policy`` is ignored then."""
+    if sched is None:
+        sched = Scheduler(policy=policy)
     impl = factory(sched)
     for index, (kind, delay, work) in enumerate(plan):
         name = "{}{}".format(kind, index)

@@ -110,6 +110,7 @@ class Semaphore:
             self._note_acquired(me)
             return
         self._waiters.append(me)
+        self._sched.probe("semaphore", self._label, len(self._waiters))
         self._sched.register_cleanup(self._wait_key, self._on_waiter_death)
         try:
             yield from self._sched.park(
@@ -159,10 +160,13 @@ class Semaphore:
 
     def _pick_waiter(self) -> SimProcess:
         if self._wake_policy == "fifo":
-            return self._waiters.pop(0)
-        if self._wake_policy == "lifo":
-            return self._waiters.pop()
-        return self._waiters.pop(self._rng.randrange(len(self._waiters)))
+            proc = self._waiters.pop(0)
+        elif self._wake_policy == "lifo":
+            proc = self._waiters.pop()
+        else:
+            proc = self._waiters.pop(self._rng.randrange(len(self._waiters)))
+        self._sched.probe("semaphore", self._label, len(self._waiters))
+        return proc
 
     # ------------------------------------------------------------------
     # Crash-semantics bookkeeping
@@ -217,6 +221,7 @@ class Semaphore:
     def _discard_waiter(self, proc: SimProcess) -> None:
         if proc in self._waiters:
             self._waiters.remove(proc)
+            self._sched.probe("semaphore", self._label, len(self._waiters))
 
     def _on_waiter_death(self, proc: SimProcess) -> None:
         self._discard_waiter(proc)
@@ -281,6 +286,7 @@ class Mutex:
             self._sched.log("acquire", self.name)
             return
         self._waiters.append(me)
+        self._sched.probe("mutex", self._label, len(self._waiters))
         self._sched.register_cleanup(self._wait_key, self._on_waiter_death)
         try:
             yield from self._sched.park(
@@ -307,6 +313,7 @@ class Mutex:
         self._sched.note_release(self._label, me)
         if self._waiters:
             nxt = self._waiters.pop(0)
+            self._sched.probe("mutex", self._label, len(self._waiters))
             self._take(nxt)
             self._sched.log("release", self.name, "handoff:{}".format(nxt.name))
             self._sched.unpark(nxt)
@@ -325,6 +332,7 @@ class Mutex:
     def _discard_waiter(self, proc: SimProcess) -> None:
         if proc in self._waiters:
             self._waiters.remove(proc)
+            self._sched.probe("mutex", self._label, len(self._waiters))
 
     def _on_waiter_death(self, proc: SimProcess) -> None:
         self._discard_waiter(proc)
@@ -335,6 +343,7 @@ class Mutex:
         self._sched.note_release(self._label, proc)
         if self._waiters:
             nxt = self._waiters.pop(0)
+            self._sched.probe("mutex", self._label, len(self._waiters))
             self._take(nxt)
             self._sched.log(
                 "release", self.name,
@@ -374,6 +383,7 @@ class BroadcastEvent:
             return
         me = self._sched.current
         self._waiters.append(me)
+        self._sched.probe("event", self._label, len(self._waiters))
         self._sched.register_cleanup(self._wait_key, self._discard_waiter)
         try:
             yield from self._sched.park(
@@ -392,9 +402,11 @@ class BroadcastEvent:
         self._set = True
         self._sched.log("event_set", self.name, len(self._waiters))
         waiters, self._waiters = self._waiters, []
+        self._sched.probe("event", self._label, 0)
         for proc in waiters:
             self._sched.unpark(proc)
 
     def _discard_waiter(self, proc: SimProcess) -> None:
         if proc in self._waiters:
             self._waiters.remove(proc)
+            self._sched.probe("event", self._label, len(self._waiters))

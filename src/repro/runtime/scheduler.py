@@ -100,6 +100,12 @@ class Scheduler:
             explorer can reach.
         fault_plan: optional :class:`~repro.runtime.faults.FaultPlan` of
             kills / delays / dropped signals injected into the run.
+        sink: optional :class:`~repro.obs.sink.InstrumentationSink` that
+            receives every trace event, dispatch step, and mechanism probe.
+            A sink whose class sets ``IS_NULL = True`` (the obs layer's
+            ``NullSink``) is normalized to ``None`` here, so uninstrumented
+            runs execute the identical code path and pay nothing.  Checked
+            by duck-typing so the runtime never imports the obs package.
     """
 
     def __init__(
@@ -108,12 +114,16 @@ class Scheduler:
         max_steps: int = 500_000,
         preemptive: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        sink: Optional[Any] = None,
     ) -> None:
         self.policy = policy or FIFOPolicy()
         self.policy.reset()
         self.max_steps = max_steps
         self.preemptive = preemptive
         self.fault_plan = fault_plan
+        if sink is not None and getattr(sink, "IS_NULL", False):
+            sink = None
+        self._sink = sink
         self.trace = Trace()
         self._ready: List[SimProcess] = []
         self._processes: List[SimProcess] = []
@@ -460,9 +470,18 @@ class Scheduler:
         pname = actor.name if actor is not None else "<sched>"
         event = Event(self._next_seq(), self._time, pid, pname, kind, obj, detail)
         self.trace.append(event)
+        if self._sink is not None:
+            self._sink.on_event(event)
         if self.fault_plan is not None and actor is not None:
             self.fault_plan.observe(pname, kind, obj)
         return event
+
+    def probe(self, category: str, obj: str, value: Any) -> None:
+        """Publish a mechanism gauge sample (queue depth, crowd size...) to
+        the attached sink.  Free when no sink is attached — mechanisms call
+        this unconditionally from their queue-mutation sites."""
+        if self._sink is not None:
+            self._sink.on_probe(category, obj, value, self._seq, self._time)
 
     def _next_seq(self) -> int:
         value = self._seq
@@ -539,6 +558,8 @@ class Scheduler:
                         continue
                 proc.state = ProcessState.RUNNING
                 self._current = proc
+                if self._sink is not None:
+                    self._sink.on_step(proc, self._seq, self._time)
                 try:
                     alive = proc.step()
                 except Exception as exc:  # noqa: BLE001 - process body failure
@@ -575,7 +596,7 @@ class Scheduler:
             for p in self._processes
             if p.state is ProcessState.BLOCKED and not p.daemon
         ]
-        return RunResult(
+        result = RunResult(
             trace=self.trace,
             deadlocked=deadlocked,
             blocked=blocked_names,
@@ -585,6 +606,9 @@ class Scheduler:
             proc_steps={p.name: p.steps for p in self._processes},
             graph=graph,
         )
+        if self._sink is not None:
+            self._sink.on_run_end(result)
+        return result
 
     def _advance_clock(self) -> None:
         """Jump virtual time to the earliest *live* timer and fire
@@ -637,6 +661,7 @@ def run_processes(
     max_steps: int = 500_000,
     preemptive: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    sink: Optional[Any] = None,
 ) -> RunResult:
     """Convenience wrapper: spawn each generator-returning thunk and run.
 
@@ -644,13 +669,14 @@ def run_processes(
     generator (use closures or ``functools.partial`` to bind arguments).
     All :class:`Scheduler` and :meth:`Scheduler.run` knobs are plumbed
     through, so callers never need to hand-build a scheduler just to set
-    ``preemptive``, ``on_error``, or a fault plan.
+    ``preemptive``, ``on_error``, a fault plan, or an instrumentation sink.
     """
     sched = Scheduler(
         policy=policy,
         max_steps=max_steps,
         preemptive=preemptive,
         fault_plan=fault_plan,
+        sink=sink,
     )
     for i, body in enumerate(bodies):
         name = names[i] if names else None

@@ -60,6 +60,59 @@ class Event:
         return base
 
 
+class TraceView:
+    """A lazy view over a filtered trace.
+
+    Iterating the view scans the underlying event list once, yielding
+    matches as it goes — oracle hot loops that only iterate (or stop early
+    via ``next``/``first``) never build an intermediate list.  The list
+    protocol (``len``, indexing, slicing, ``==``) still works: the first
+    such call materializes the matches once and caches them, so existing
+    callers that index into filter results are unaffected.
+    """
+
+    __slots__ = ("_source", "_match", "_cache")
+
+    def __init__(self, source: List[Event],
+                 match: Callable[[Event], bool]) -> None:
+        self._source = source
+        self._match = match
+        self._cache: Optional[List[Event]] = None
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._cache is not None:
+            return iter(self._cache)
+        return (ev for ev in self._source if self._match(ev))
+
+    def _materialize(self) -> List[Event]:
+        if self._cache is None:
+            self._cache = [ev for ev in self._source if self._match(ev)]
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __bool__(self) -> bool:
+        return next(iter(self), None) is not None
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceView):
+            other = other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return "TraceView({!r})".format(self._materialize())
+
+
 class Trace:
     """An append-only sequence of :class:`Event` objects with query helpers."""
 
@@ -94,26 +147,31 @@ class Trace:
         kind: Optional[str] = None,
         obj: Optional[str] = None,
         pname: Optional[str] = None,
+        pid: Optional[int] = None,
         predicate: Optional[Callable[[Event], bool]] = None,
-    ) -> List[Event]:
-        """Return events matching every given criterion.
+    ) -> TraceView:
+        """A lazy :class:`TraceView` of events matching every criterion.
 
         ``kind`` may be a single vocabulary word or a ``|``-separated
-        alternation, e.g. ``"op_start|op_end"``.
+        alternation, e.g. ``"op_start|op_end"``.  The view iterates without
+        building a list; indexing/``len`` materialize (and cache) once.
         """
         kinds = set(kind.split("|")) if kind is not None else None
-        out = []
-        for ev in self._events:
+
+        def match(ev: Event) -> bool:
             if kinds is not None and ev.kind not in kinds:
-                continue
+                return False
             if obj is not None and ev.obj != obj:
-                continue
+                return False
             if pname is not None and ev.pname != pname:
-                continue
+                return False
+            if pid is not None and ev.pid != pid:
+                return False
             if predicate is not None and not predicate(ev):
-                continue
-            out.append(ev)
-        return out
+                return False
+            return True
+
+        return TraceView(self._events, match)
 
     def kinds(self) -> List[str]:
         """The distinct event kinds present, in first-occurrence order."""
@@ -124,14 +182,16 @@ class Trace:
         return seen
 
     def first(self, **criteria) -> Optional[Event]:
-        """First event matching :meth:`filter` criteria, or ``None``."""
-        matches = self.filter(**criteria)
-        return matches[0] if matches else None
+        """First event matching :meth:`filter` criteria, or ``None``.
+        Short-circuits: stops scanning at the first match."""
+        return next(iter(self.filter(**criteria)), None)
 
     def last(self, **criteria) -> Optional[Event]:
         """Last event matching :meth:`filter` criteria, or ``None``."""
-        matches = self.filter(**criteria)
-        return matches[-1] if matches else None
+        found = None
+        for ev in self.filter(**criteria):
+            found = ev
+        return found
 
     def projection(self, *kinds: str) -> List[Event]:
         """Events whose kind is one of ``kinds``, preserving order."""

@@ -46,9 +46,8 @@ def check_mutual_exclusion(
     active_exclusive: Set[Tuple[int, str]] = set()
     active_shared: Set[Tuple[int, str]] = set()
     violations: List[str] = []
-    for ev in trace.projection("op_start", "op_end"):
-        if ev.obj not in watched:
-            continue
+    for ev in trace.filter(kind="op_start|op_end",
+                           predicate=lambda ev: ev.obj in watched):
         key = (ev.pid, ev.obj)
         if ev.kind == "op_start":
             if ev.obj in exclusive:
@@ -91,9 +90,11 @@ def check_single_occupancy(
 # ----------------------------------------------------------------------
 def _paired_requests_and_starts(
     trace: Trace, objects: Set[str]
-) -> Tuple[List[Event], List[Event]]:
-    requests = [ev for ev in trace if ev.kind == "request" and ev.obj in objects]
-    starts = [ev for ev in trace if ev.kind == "op_start" and ev.obj in objects]
+) -> Tuple[Iterable[Event], Iterable[Event]]:
+    requests = trace.filter(kind="request",
+                            predicate=lambda ev: ev.obj in objects)
+    starts = trace.filter(kind="op_start",
+                          predicate=lambda ev: ev.obj in objects)
     return requests, starts
 
 
@@ -137,17 +138,16 @@ def check_fcfs(
 
 def _class_events(
     trace: Trace, resource: str, op: str
-) -> Tuple[List[Event], Dict[Tuple[int, int], Event]]:
+) -> Tuple[Iterable[Event], Dict[Tuple[int, int], Event]]:
     """Requests of one op plus a map from (pid, occurrence) to start."""
     obj = _full(resource, op)
-    requests = [ev for ev in trace if ev.kind == "request" and ev.obj == obj]
+    requests = trace.filter(kind="request", obj=obj)
     starts: Dict[Tuple[int, int], Event] = {}
     counts: Dict[int, int] = {}
-    for ev in trace:
-        if ev.kind == "op_start" and ev.obj == obj:
-            index = counts.get(ev.pid, 0)
-            counts[ev.pid] = index + 1
-            starts[(ev.pid, index)] = ev
+    for ev in trace.filter(kind="op_start", obj=obj):
+        index = counts.get(ev.pid, 0)
+        counts[ev.pid] = index + 1
+        starts[(ev.pid, index)] = ev
     return requests, starts
 
 
@@ -231,7 +231,10 @@ def _strict_priority(
     deferred_obj = _full(resource, deferred_op)
     pending: Dict[Tuple[int, str], List[int]] = {}
     violations: List[str] = []
-    for ev in trace:
+    for ev in trace.filter(
+        kind="request|op_start",
+        predicate=lambda ev: ev.obj in (preferred_obj, deferred_obj),
+    ):
         if ev.obj == preferred_obj:
             key = (ev.pid, ev.obj)
             if ev.kind == "request":
@@ -266,10 +269,9 @@ def check_alternation(
     objects = {_full(resource, first_op): first_op, _full(resource, second_op): second_op}
     expected = first_op
     violations: List[str] = []
-    for ev in trace.projection("op_start"):
-        op = objects.get(ev.obj)
-        if op is None:
-            continue
+    for ev in trace.filter(kind="op_start",
+                           predicate=lambda ev: ev.obj in objects):
+        op = objects[ev.obj]
         if op != expected:
             violations.append(
                 "seq {}: expected {} but {} started (alternation broken)".format(
@@ -310,12 +312,10 @@ def check_scan_order(
     head = start_track
     direction_up = ascending
     violations: List[str] = []
-    for ev in trace:
-        # Only the bare-resource parameter stream counts: "<resource>.<op>"
-        # request events are the generic op-pairing stream and would double-
-        # count tracks.
-        if ev.obj != resource:
-            continue
+    # Only the bare-resource parameter stream counts: "<resource>.<op>"
+    # request events are the generic op-pairing stream and would double-
+    # count tracks.
+    for ev in trace.filter(obj=resource):
         if ev.kind == "request" and ev.detail is not None:
             pending.append(track_of(ev))
         elif ev.kind == "serve":
@@ -360,9 +360,7 @@ def check_alarm_wakeups(
     """
     deadlines: Dict[int, List[int]] = {}
     violations: List[str] = []
-    for ev in trace:
-        if ev.obj != resource:
-            continue
+    for ev in trace.filter(kind="wakeme|wake", obj=resource):
         if ev.kind == "wakeme":
             delay = ev.detail if not isinstance(ev.detail, tuple) else ev.detail[0]
             deadlines.setdefault(ev.pid, []).append(ev.time + int(delay))
@@ -405,10 +403,13 @@ def check_class_priority_two_stage(
     low_obj = _full(resource, low_op)
     pending: List[Event] = []
     violations: List[str] = []
-    for ev in trace:
-        if ev.kind == "request" and ev.obj in (high_obj, low_obj):
+    for ev in trace.filter(
+        kind="request|op_start",
+        predicate=lambda ev: ev.obj in (high_obj, low_obj),
+    ):
+        if ev.kind == "request":
             pending.append(ev)
-        elif ev.kind == "op_start" and ev.obj in (high_obj, low_obj):
+        else:
             # Find the matching pending request (same pid+obj, oldest).
             match = None
             for req in pending:
