@@ -12,10 +12,16 @@ test-sampled ones.  This bench:
   internal hand-offs ⇒ more interleavings to get right);
 * confirms the footnote-3 anomaly is the ONLY strict-priority violation
   class in the explored space of the Figure-1 program (every violating
-  schedule has W2 overtaking a pending read).
+  schedule has W2 overtaking a pending read);
+* measures the exploration engine itself — schedules/sec of the naive
+  serial DFS vs the equivalence-pruned search vs the multi-process
+  frontier — and persists the numbers to BENCH_exploration.json.
 """
 
-from conftest import emit
+import os
+import time
+
+from conftest import emit, persist
 
 from repro.core import ascii_table
 from repro.problems.readers_writers import (
@@ -118,3 +124,88 @@ def test_e14_exhaustive_verification(benchmark):
             "" if anomaly_outcome.exhausted else "not ",
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# E14b — engine throughput: naive vs pruned vs parallel
+# ----------------------------------------------------------------------
+PAR_WORKERS = 4
+
+
+def _timed_explore(target, **kwargs):
+    from repro.explore import explore_parallel
+
+    start = time.perf_counter()
+    result = explore_parallel(target, **kwargs)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def _stats(result, seconds):
+    return {
+        "runs": result.runs,
+        "violations": len(result.violations),
+        "exhausted": result.exhausted,
+        "pruned": result.pruned,
+        "seconds": round(seconds, 4),
+        "schedules_per_sec": round(result.runs / seconds, 1) if seconds else None,
+    }
+
+
+def test_e14b_engine_throughput():
+    from repro.explore import get_target
+
+    # fcfs_resource/monitor: a space both searches exhaust quickly, so the
+    # pruning ratio compares full coverage with full coverage.
+    target = get_target("fcfs_resource", "monitor")
+    budget = dict(max_runs=20000, max_depth=80)
+
+    naive, naive_s = _timed_explore(target, workers=1, prune=False, **budget)
+    pruned, pruned_s = _timed_explore(target, workers=1, prune=True, **budget)
+    assert naive.exhausted and pruned.exhausted
+    assert pruned.runs < naive.runs, "pruning must shrink the search"
+    assert len(pruned.violations) == len(naive.violations) == 0
+
+    # Parallel frontier on the same space: identical result, wall-clock
+    # measured against the single-worker run of the same algorithm.
+    par, par_s = _timed_explore(
+        target, workers=PAR_WORKERS, prune=False, **budget
+    )
+    assert (par.runs, par.exhausted) == (naive.runs, naive.exhausted)
+    speedup = naive_s / par_s if par_s else 0.0
+
+    payload = {
+        "target": "fcfs_resource/monitor",
+        "cpu_count": os.cpu_count(),
+        "serial_naive": _stats(naive, naive_s),
+        "serial_pruned": _stats(pruned, pruned_s),
+        "parallel": dict(_stats(par, par_s), workers=PAR_WORKERS),
+        "pruning_ratio": round(naive.runs / pruned.runs, 2),
+        "parallel_speedup": round(speedup, 2),
+    }
+    persist("exploration", payload)
+    emit(
+        "E14b: exploration engine throughput",
+        ascii_table(
+            ["search", "schedules", "seconds", "sched/sec"],
+            [
+                ["naive DFS", str(naive.runs), "{:.3f}".format(naive_s),
+                 "{:.0f}".format(naive.runs / naive_s)],
+                ["pruned", str(pruned.runs), "{:.3f}".format(pruned_s),
+                 "{:.0f}".format(pruned.runs / pruned_s)],
+                ["parallel x{}".format(PAR_WORKERS), str(par.runs),
+                 "{:.3f}".format(par_s), "{:.0f}".format(par.runs / par_s)],
+            ],
+        )
+        + "\n\npruning ratio {:.2f}x, parallel speedup {:.2f}x "
+        "({} cpu(s))".format(
+            naive.runs / pruned.runs, speedup, os.cpu_count()
+        ),
+    )
+
+    # The >=2x parallel win needs actual cores; the container may have 1.
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            "expected >=2x schedules/sec with {} workers, got {:.2f}x"
+            .format(PAR_WORKERS, speedup)
+        )

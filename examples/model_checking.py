@@ -4,18 +4,20 @@
 Two versions of a tiny account-transfer system share the same API; one
 takes the lock correctly, the other reads a balance *before* acquiring the
 lock (a TOCTOU bug that only bites under particular interleavings).  The
-explorer enumerates every schedule of a 2-process workload, proves the
-correct version safe, finds a witness schedule for the buggy one, and
-replays the witness deterministically.
+exploration engine enumerates every schedule of a 2-process workload —
+with equivalence pruning, so the correct version's proof costs fewer
+runs — proves the correct version safe, finds a witness schedule for the
+buggy one, shrinks it to a locally minimal decision string, and replays
+it deterministically.
 
 This is the same machinery experiment E5 uses to rediscover the paper's
-footnote-3 anomaly.
+footnote-3 anomaly (see also ``python -m repro explore``).
 
 Run:  python examples/model_checking.py
 """
 
+from repro.explore import ExplorationEngine, minimize_witness
 from repro.runtime import Mutex, Scheduler, ScriptedPolicy
-from repro.verify import ScheduleExplorer
 
 
 def make_system(buggy):
@@ -25,6 +27,9 @@ def make_system(buggy):
         sched = Scheduler(policy=policy, preemptive=True)
         lock = Mutex(sched, "account")
         account = {"balance": 100}
+        # Register the shared user state so equivalence pruning may not
+        # alias states that differ only in the balance (DESIGN.md §9).
+        sched.add_fingerprint_provider(lambda: account["balance"])
 
         def withdraw(amount):
             def body():
@@ -58,23 +63,37 @@ def check(run):
 
 def main() -> None:
     print("Exploring the CORRECT system (lock before read):")
-    correct = ScheduleExplorer(make_system(buggy=False), max_runs=5000)
-    outcome = correct.explore(check)
-    print("  schedules explored: {}, exhausted: {}, violations: {}".format(
-        outcome.runs, outcome.exhausted, len(outcome.violations)
-    ))
+    naive = ExplorationEngine(make_system(buggy=False), max_runs=5000)
+    outcome = naive.explore(check)
+    pruned = ExplorationEngine(
+        make_system(buggy=False), max_runs=5000, prune=True
+    ).explore(check)
+    print("  schedules explored: {} naive / {} pruned, exhausted: {}, "
+          "violations: {}".format(
+              outcome.runs, pruned.runs, outcome.exhausted,
+              len(outcome.violations)))
     assert outcome.ok and outcome.exhausted
+    assert pruned.ok and pruned.exhausted and pruned.runs <= outcome.runs
 
     print("\nExploring the BUGGY system (read before lock):")
-    buggy = ScheduleExplorer(make_system(buggy=True), max_runs=5000)
+    buggy = ExplorationEngine(
+        make_system(buggy=True), max_runs=5000, prune=True
+    )
     outcome = buggy.explore(check, stop_at_first=True)
     witness = outcome.witness
     print("  witness schedule found after {} runs: {}".format(
         outcome.runs, list(witness)
     ))
 
-    print("\nReplaying the witness deterministically:")
-    replay = make_system(buggy=True)(ScriptedPolicy(list(witness)))
+    print("\nShrinking the witness (ddmin to local minimality):")
+    shrunk = minimize_witness(make_system(buggy=True), check, witness)
+    print("  {} -> {} decisions in {} test runs: {}".format(
+        len(shrunk.original), len(shrunk.minimized), shrunk.tests,
+        list(shrunk.minimized)
+    ))
+
+    print("\nReplaying the minimized witness deterministically:")
+    replay = make_system(buggy=True)(ScriptedPolicy(list(shrunk.minimized)))
     print("  final balance: {} (expected 50)".format(
         replay.results["balance"]
     ))

@@ -20,6 +20,10 @@ Commands:
   ``--export chrome --out trace.json`` writes a Perfetto-loadable trace.
 * ``metrics``       — profile every registered pair (filter with
   ``--problem``/``--mechanism``) and tabulate the counters side by side.
+* ``explore``       — exhaustively explore one solution's schedule space
+  (``repro explore <problem> <mechanism>``): equivalence-pruned search,
+  ``--workers N`` for a parallel frontier, ``--minimize`` to shrink a
+  found witness; ``repro explore list`` names the available targets.
 
 ``--seed`` (where accepted) switches the run to a seeded random scheduling
 policy; omitting it keeps the deterministic FIFO schedule.  ``--json``
@@ -225,6 +229,92 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        available_targets,
+        explore_parallel,
+        get_target,
+        minimize_witness,
+    )
+
+    if args.problem == "list":
+        for problem, mechanism in available_targets():
+            print("{} {}".format(problem, mechanism))
+        return 0
+    if args.mechanism is None:
+        print("error: a mechanism is required "
+              "(see 'repro explore list')", file=sys.stderr)
+        return 2
+    try:
+        target = get_target(args.problem, args.mechanism)
+    except KeyError as bad:
+        print("error: {}".format(bad.args[0]), file=sys.stderr)
+        return 2
+    result = explore_parallel(
+        target,
+        workers=args.workers,
+        max_runs=args.max_runs,
+        max_depth=args.max_depth,
+        prune=args.prune,
+        seed=args.seed,
+        stop_at_first=args.stop_at_first,
+    )
+    minimized = None
+    if args.minimize and result.witness is not None:
+        minimized = minimize_witness(
+            target.runner(), target.checker, result.witness
+        )
+    if args.json:
+        payload = {
+            "problem": args.problem,
+            "mechanism": args.mechanism,
+            "workers": args.workers,
+            "prune": args.prune,
+            "runs": result.runs,
+            "pruned": result.pruned,
+            "states": result.states,
+            "exhausted": result.exhausted,
+            "ok": result.ok,
+            "violations": len(result.violations),
+            "witness": list(result.witness) if result.witness else None,
+        }
+        if minimized is not None:
+            payload["minimized"] = {
+                "decisions": list(minimized.minimized),
+                "reduction": minimized.reduction,
+                "tests": minimized.tests,
+                "locally_minimal": minimized.locally_minimal,
+                "messages": list(minimized.messages),
+            }
+        print(json.dumps(payload, indent=2))
+        return 0 if result.ok else 1
+    print("explore {}/{}: {} run(s), {} pruned, {} state(s), {}".format(
+        args.problem, args.mechanism, result.runs, result.pruned,
+        result.states,
+        "exhausted" if result.exhausted else "budget hit",
+    ))
+    if result.ok:
+        print("no violations found")
+        return 0
+    print("{} violating schedule(s); first witness: {}".format(
+        len(result.violations), list(result.witness)))
+    for message in result.violations[0][1]:
+        print("  " + message)
+    if minimized is not None:
+        print()
+        print("minimized to {} decision(s) ({} removed, {} test runs{}): "
+              "{}".format(
+                  len(minimized.minimized), minimized.reduction,
+                  minimized.tests,
+                  "" if minimized.locally_minimal else ", budget hit",
+                  list(minimized.minimized)))
+        for message in minimized.messages:
+            print("  " + message)
+        print()
+        print(minimized.timeline)
+    return 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import comparison_table, metrics_suite
 
@@ -325,6 +415,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_met.set_defaults(func=_cmd_metrics)
+
+    p_exp = sub.add_parser(
+        "explore",
+        help="exhaustively explore one solution's schedule space",
+    )
+    p_exp.add_argument("problem",
+                       help="target problem, or 'list' to enumerate targets")
+    p_exp.add_argument("mechanism", nargs="?", default=None,
+                       help="mechanism to explore")
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1: in-process)")
+    p_exp.add_argument("--max-runs", type=int, default=2000,
+                       help="schedule budget (default 2000)")
+    p_exp.add_argument("--max-depth", type=int, default=60,
+                       help="branching horizon (default 60)")
+    prune = p_exp.add_mutually_exclusive_group()
+    prune.add_argument("--prune", dest="prune", action="store_true",
+                       default=True,
+                       help="equivalence pruning (default)")
+    prune.add_argument("--no-prune", dest="prune", action="store_false",
+                       help="naive first-deviation DFS")
+    p_exp.add_argument("--seed", type=int, default=None,
+                       help="deterministic frontier shuffle for budgeted "
+                       "searches")
+    p_exp.add_argument("--stop-at-first", action="store_true",
+                       help="stop at the first violating schedule")
+    p_exp.add_argument("--minimize", action="store_true",
+                       help="shrink the witness to a locally minimal "
+                       "decision string and replay its timeline")
+    p_exp.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_exp.set_defaults(func=_cmd_explore)
 
     return parser
 

@@ -1,0 +1,243 @@
+"""The exploration engine: pruned stateless search over schedule space.
+
+Because all nondeterminism flows through the scheduling policy, a run is a
+pure function of its decision string.  The engine enumerates decision
+strings (run a prefix, read back how many alternatives existed at each
+step, queue every first-deviation sibling) exactly like the naive DFS it
+replaces — but with **equivalence pruning**: a :class:`RecordingPolicy`
+captures the scheduler's canonical state fingerprint before every decision
+(:meth:`~repro.runtime.scheduler.Scheduler.fingerprint`), and a work item
+that would re-enter an already-claimed ``(state, chosen process)`` subtree
+is dropped.  Interleavings that are permutations of independent steps
+converge to the same canonical state, so each equivalence class is visited
+once — a sleep-set/state-caching reduction in the DPOR family (see
+DESIGN.md §9 for the soundness argument and its boundary).
+
+Serial depth-first search lives here; the wave-synchronized parallel
+frontier is :mod:`repro.explore.parallel`, sharing :func:`expand_record`
+so both searches prune identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..runtime.policies import ScriptedPolicy
+from ..runtime.trace import RunResult
+
+BuildAndRun = Callable[[ScriptedPolicy], RunResult]
+Checker = Callable[[RunResult], List[str]]
+
+#: A pruning key: (canonical state fingerprint, pid chosen from it).  Two
+#: work items with the same key root isomorphic subtrees.
+PruneKey = Tuple[int, int]
+
+
+class RecordingPolicy(ScriptedPolicy):
+    """A :class:`ScriptedPolicy` that additionally records, per decision,
+    the canonical state fingerprint and the pid of every ready process —
+    the raw material of equivalence pruning.  The scheduler invokes
+    :meth:`observe_state` right before each ``choose`` (duck-typed hook)."""
+
+    def __init__(self, decisions: Optional[Sequence[int]] = None) -> None:
+        super().__init__(decisions)
+        self.fingerprints: List[int] = []
+        self.ready_pids: List[Tuple[int, ...]] = []
+
+    def observe_state(self, sched) -> None:
+        sched.enable_fingerprinting()
+        self.fingerprints.append(sched.fingerprint())
+        self.ready_pids.append(tuple(p.pid for p in sched._ready))
+
+    def reset(self) -> None:
+        super().reset()
+        self.fingerprints = []
+        self.ready_pids = []
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Everything the frontier logic needs from one executed schedule —
+    a picklable reduction of the run, so parallel workers can ship it back
+    to the master without shipping the trace."""
+
+    prefix: Tuple[int, ...]
+    taken: Tuple[int, ...]
+    branch_log: Tuple[int, ...]
+    fingerprints: Tuple[int, ...]
+    ready_pids: Tuple[Tuple[int, ...], ...]
+    messages: Tuple[str, ...]
+
+    @classmethod
+    def from_run(
+        cls,
+        prefix: Sequence[int],
+        policy: ScriptedPolicy,
+        messages: Sequence[str],
+    ) -> "RunRecord":
+        return cls(
+            prefix=tuple(prefix),
+            taken=tuple(policy.taken),
+            branch_log=tuple(policy.branch_log),
+            fingerprints=tuple(getattr(policy, "fingerprints", ())),
+            ready_pids=tuple(getattr(policy, "ready_pids", ())),
+            messages=tuple(messages),
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a schedule-space search.
+
+    Attributes:
+        runs: number of schedules executed.
+        violations: list of (decision string, violation messages).
+        exhausted: True when the whole (depth-bounded) space was covered —
+            i.e. the frontier drained, even if that happened exactly at the
+            run budget.
+        pruned: work items skipped because their (state, choice) subtree
+            was already claimed (0 when pruning is off).
+        states: distinct (state, choice) subtrees claimed during the search
+            (0 when pruning is off).
+        witness: decisions of the first violating schedule, if any.
+    """
+
+    runs: int = 0
+    violations: List[Tuple[Tuple[int, ...], List[str]]] = field(
+        default_factory=list
+    )
+    exhausted: bool = True
+    pruned: int = 0
+    states: int = 0
+
+    @property
+    def witness(self) -> Optional[Tuple[int, ...]]:
+        if self.violations:
+            return self.violations[0][0]
+        return None
+
+    @property
+    def ok(self) -> bool:
+        """True when no schedule violated the property."""
+        return not self.violations
+
+
+def expand_record(
+    record: RunRecord,
+    max_depth: int,
+    seen: Optional[Set[PruneKey]],
+) -> Tuple[List[Tuple[int, ...]], int]:
+    """First-deviation children of one executed schedule.
+
+    With ``seen`` (pruning on), sibling items whose ``(fingerprint, pid)``
+    subtree is already claimed are dropped, the default continuation's key
+    is claimed at every depth, and expansion stops early when the default
+    continuation re-enters a subtree some earlier item owns — everything
+    deeper is a reordering of schedules explored from that item.  Returns
+    ``(children, pruned_count)``.  Mutates ``seen``.
+    """
+    children: List[Tuple[int, ...]] = []
+    pruned = 0
+    horizon = min(len(record.branch_log), max_depth)
+    for position in range(len(record.prefix), horizon):
+        alternatives = record.branch_log[position]
+        base = record.taken[:position]
+        for choice in range(1, alternatives):
+            if seen is not None:
+                key = (
+                    record.fingerprints[position],
+                    record.ready_pids[position][choice],
+                )
+                if key in seen:
+                    pruned += 1
+                    continue
+                seen.add(key)
+            children.append(base + (choice,))
+        if seen is not None:
+            default_key = (
+                record.fingerprints[position],
+                record.ready_pids[position][record.taken[position]],
+            )
+            if default_key in seen:
+                # The run's own continuation from here on retraces a subtree
+                # an earlier item claimed; deeper deviations live inside it.
+                pruned += 1
+                break
+            seen.add(default_key)
+    return children, pruned
+
+
+class ExplorationEngine:
+    """Depth-first pruned search over the schedule space of one system.
+
+    Args:
+        build_and_run: builds a *fresh* system with the given policy and
+            runs it to completion, returning the :class:`RunResult`.  It
+            must not share mutable state across calls.
+        max_runs: schedule budget.
+        max_depth: decisions beyond this depth are not branched on
+            (the default choice is taken), bounding the tree width.
+        prune: enable canonical-fingerprint equivalence pruning.  Requires
+            the system's shared *user* state (if any) to be registered via
+            :meth:`Scheduler.add_fingerprint_provider`; mechanism state is
+            always captured.  Off by default for drop-in compatibility with
+            the naive DFS.
+    """
+
+    def __init__(
+        self,
+        build_and_run: BuildAndRun,
+        max_runs: int = 2000,
+        max_depth: int = 60,
+        prune: bool = False,
+    ) -> None:
+        self._build_and_run = build_and_run
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+        self.prune = prune
+
+    def run_one(self, prefix: Sequence[int], check: Checker) -> RunRecord:
+        """Execute a single schedule and reduce it to a :class:`RunRecord`."""
+        policy = RecordingPolicy(prefix) if self.prune else ScriptedPolicy(prefix)
+        run = self._build_and_run(policy)
+        return RunRecord.from_run(prefix, policy, check(run))
+
+    def explore(
+        self,
+        check: Checker,
+        stop_at_first: bool = False,
+    ) -> ExplorationResult:
+        """Search for schedules where ``check`` reports violations.
+
+        Args:
+            check: maps a run result to violation messages (empty = ok).
+            stop_at_first: return as soon as one violating schedule is
+                found (used when hunting for a witness, e.g. experiment E5).
+        """
+        result = ExplorationResult()
+        frontier: List[Tuple[int, ...]] = [()]
+        seen: Optional[Set[PruneKey]] = set() if self.prune else None
+        while frontier:
+            if result.runs >= self.max_runs:
+                result.exhausted = False
+                break
+            prefix = frontier.pop()
+            record = self.run_one(prefix, check)
+            result.runs += 1
+            if record.messages:
+                result.violations.append((record.taken, list(record.messages)))
+                if stop_at_first:
+                    result.exhausted = not frontier
+                    break
+            children, pruned = expand_record(record, self.max_depth, seen)
+            result.pruned += pruned
+            frontier.extend(children)
+        result.states = len(seen) if seen is not None else 0
+        return result
+
+    def find_schedule(self, predicate: Checker) -> Optional[Tuple[int, ...]]:
+        """Return the decision string of the first schedule satisfying
+        ``predicate`` (non-empty result = found), or ``None``."""
+        found = self.explore(predicate, stop_at_first=True)
+        return found.witness

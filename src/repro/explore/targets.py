@@ -1,0 +1,338 @@
+"""Canonical exploration targets: small, exhaustible workloads for every
+(problem, mechanism) pair, addressable by name.
+
+The engine itself takes arbitrary ``build_and_run`` closures; the *targets*
+exist so that exploration can be requested from the command line
+(``python -m repro explore bounded_buffer monitor``) and sharded across
+worker processes — a target is identified by two strings, so a worker can
+rebuild the system and checker locally instead of receiving an unpicklable
+closure.
+
+Each target couples a deliberately small workload (2–3 processes, 1–2
+operations each, so the schedule space is exhaustible within CLI budgets)
+with the problem's own oracle plus the mechanism-level detectors
+(:class:`~repro.explore.detectors.ConflictingAccessChecker`,
+:class:`~repro.explore.detectors.LostWakeupChecker`).  All runs use
+``on_deadlock="return"`` / ``on_error="record"`` so pathological schedules
+are *reported* by checkers rather than aborting the search.
+
+The ``footnote3`` target is the paper's E5 anomaly as a search problem:
+the Figure-1 path-expression arrival pattern checked against the strict
+Courtois–Heymans–Parnas oracle — the engine rediscovers the anomaly, and
+the minimizer (:mod:`repro.explore.minimize`) shrinks its witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..runtime.faults import FaultPlan
+from ..runtime.policies import SchedulingPolicy
+from ..runtime.scheduler import Scheduler
+from ..runtime.trace import RunResult
+from ..verify.oracles import (
+    check_alarm_wakeups,
+    check_alternation,
+    check_class_priority_two_stage,
+    check_fcfs,
+    check_readers_priority_strict,
+    check_single_occupancy,
+)
+from .detectors import ConflictingAccessChecker, LostWakeupChecker
+
+Checker = Callable[[RunResult], List[str]]
+
+_lost_wakeup = LostWakeupChecker()
+
+
+def _factory(problem: str, mechanism: str):
+    from ..problems.registry import get_solution
+
+    return get_solution(problem, mechanism).factory
+
+
+# ----------------------------------------------------------------------
+# Workloads (sched, mechanism) -> RunResult.  Kept module-level so worker
+# processes resolve them by problem name.
+# ----------------------------------------------------------------------
+def _run_readers_priority(sched: Scheduler, mechanism: str) -> RunResult:
+    impl = _factory("readers_priority", mechanism)(sched)
+
+    def reader():
+        yield from impl.read(work=1)
+
+    def writer():
+        yield from impl.write(1, work=1)
+
+    sched.spawn(reader, name="R")
+    sched.spawn(writer, name="W")
+    return sched.run(on_deadlock="return", on_error="record")
+
+
+_db_races = ConflictingAccessChecker("db", writes=["write"], reads=["read"])
+
+
+def _check_readers_priority(run: RunResult) -> List[str]:
+    messages = _db_races(run)
+    messages += _lost_wakeup(run)
+    return messages
+
+
+def _run_footnote3(sched: Scheduler, mechanism: str) -> RunResult:
+    impl = _factory("readers_priority", mechanism)(sched)
+
+    def first_writer():
+        yield from impl.write(1, work=6)
+
+    def second_writer():
+        yield
+        yield from impl.write(2, work=1)
+
+    def reader():
+        yield
+        yield
+        yield from impl.read(work=1)
+
+    sched.spawn(first_writer, name="W1")
+    sched.spawn(second_writer, name="W2")
+    sched.spawn(reader, name="R1")
+    return sched.run(on_deadlock="return", on_error="record")
+
+
+def _check_footnote3(run: RunResult) -> List[str]:
+    return list(check_readers_priority_strict(run.trace, "db"))
+
+
+def _run_bounded_buffer(sched: Scheduler, mechanism: str) -> RunResult:
+    impl = _factory("bounded_buffer", mechanism)(sched)
+    consumed: List[int] = []
+    sched.add_fingerprint_provider(lambda: consumed)
+
+    def producer(value):
+        def body():
+            yield from impl.put(value)
+        return body
+
+    def consumer():
+        for __ in range(2):
+            item = yield from impl.get()
+            consumed.append(item)
+
+    sched.spawn(producer(0), name="P0")
+    sched.spawn(producer(1), name="P1")
+    sched.spawn(consumer, name="C")
+    result = sched.run(on_deadlock="return", on_error="record")
+    result.results["consumed"] = list(consumed)
+    return result
+
+
+def _check_bounded_buffer(run: RunResult) -> List[str]:
+    messages: List[str] = []
+    consumed = run.results.get("consumed", [])
+    if not run.deadlocked and sorted(consumed) != [0, 1]:
+        messages.append(
+            "buffer integrity: consumed {!r}, expected a permutation of "
+            "[0, 1]".format(consumed)
+        )
+    messages += _lost_wakeup(run)
+    return messages
+
+
+def _run_one_slot_buffer(sched: Scheduler, mechanism: str) -> RunResult:
+    impl = _factory("one_slot_buffer", mechanism)(sched)
+    consumed: List[int] = []
+    sched.add_fingerprint_provider(lambda: consumed)
+
+    def producer(value):
+        def body():
+            yield from impl.put(value)
+        return body
+
+    def consumer():
+        for __ in range(2):
+            item = yield from impl.get()
+            consumed.append(item)
+
+    # Two independent producers: their pre-put steps commute, which gives
+    # the equivalence pruning real work even on this tiny problem.
+    sched.spawn(producer(0), name="P0")
+    sched.spawn(producer(1), name="P1")
+    sched.spawn(consumer, name="Cons")
+    result = sched.run(on_deadlock="return", on_error="record")
+    result.results["consumed"] = list(consumed)
+    return result
+
+
+def _check_one_slot_buffer(run: RunResult) -> List[str]:
+    messages = list(check_alternation(run.trace, "slot"))
+    consumed = run.results.get("consumed", [])
+    if not run.deadlocked and sorted(consumed) != [0, 1]:
+        messages.append(
+            "slot integrity: consumed {!r}, expected a permutation of "
+            "[0, 1]".format(consumed)
+        )
+    messages += _lost_wakeup(run)
+    return messages
+
+
+def _run_fcfs_resource(sched: Scheduler, mechanism: str) -> RunResult:
+    impl = _factory("fcfs_resource", mechanism)(sched)
+
+    def contender():
+        yield from impl.use(work=2)
+
+    for i in range(3):
+        sched.spawn(contender, name="U{}".format(i))
+    return sched.run(on_deadlock="return", on_error="record")
+
+
+def _check_fcfs_resource(run: RunResult) -> List[str]:
+    messages = list(check_fcfs(run.trace, "res", ["use"]))
+    messages += check_single_occupancy(run.trace, "res", ["use"])
+    messages += _lost_wakeup(run)
+    return messages
+
+
+def _run_alarm_clock(sched: Scheduler, mechanism: str) -> RunResult:
+    # Inlined (rather than problems.alarm_clock.run_sleepers) so the wake
+    # list can be registered as a fingerprint provider *before* the run.
+    impl = _factory("alarm_clock", mechanism)(sched)
+    delays = (2, 2, 1)
+    wakes: List[int] = []
+    sched.add_fingerprint_provider(lambda: wakes)
+    horizon = max(delays) + 1
+
+    def sleeper(n):
+        def body():
+            yield from impl.wakeme(n)
+            wakes.append(n)
+        return body
+
+    def ticker():
+        for __ in range(horizon):
+            yield from sched.sleep(1)
+            yield from impl.tick()
+
+    for index, n in enumerate(delays):
+        sched.spawn(sleeper(n), name="S{}_{}".format(index, n))
+    sched.spawn(ticker, name="ticker")
+    result = sched.run(on_deadlock="return", on_error="record")
+    result.results["wakes"] = list(wakes)
+    return result
+
+
+def _check_alarm_clock(run: RunResult) -> List[str]:
+    messages = list(check_alarm_wakeups(run.trace, "alarm"))
+    wakes = run.results.get("wakes", [])
+    if not run.deadlocked and wakes != sorted(wakes):
+        messages.append(
+            "wake order {!r} not by deadline".format(wakes)
+        )
+    messages += _lost_wakeup(run)
+    return messages
+
+
+def _run_staged_queue(sched: Scheduler, mechanism: str) -> RunResult:
+    from ..problems.staged_queue import run_classes
+
+    return run_classes(
+        _factory("staged_queue", mechanism),
+        plan=(("B", 0), ("A", 0), ("B", 0)),
+        sched=sched,
+    )
+
+
+def _check_staged_queue(run: RunResult) -> List[str]:
+    messages = list(check_class_priority_two_stage(
+        run.trace, "res", high_op="acquire_a", low_op="acquire_b"
+    ))
+    messages += check_single_occupancy(run.trace, "res",
+                                       ["acquire_a", "acquire_b"])
+    messages += _lost_wakeup(run)
+    return messages
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+#: problem -> (workload, checker, registry problem used for mechanisms)
+_SPECS: Dict[str, Tuple[Callable, Checker, str]] = {
+    "readers_priority": (
+        _run_readers_priority, _check_readers_priority, "readers_priority"),
+    "footnote3": (_run_footnote3, _check_footnote3, "readers_priority"),
+    "bounded_buffer": (
+        _run_bounded_buffer, _check_bounded_buffer, "bounded_buffer"),
+    "one_slot_buffer": (
+        _run_one_slot_buffer, _check_one_slot_buffer, "one_slot_buffer"),
+    "fcfs_resource": (
+        _run_fcfs_resource, _check_fcfs_resource, "fcfs_resource"),
+    "alarm_clock": (_run_alarm_clock, _check_alarm_clock, "alarm_clock"),
+    "staged_queue": (_run_staged_queue, _check_staged_queue, "staged_queue"),
+}
+
+
+@dataclass(frozen=True)
+class ExplorationTarget:
+    """One (problem, mechanism) pair ready to explore.  Identified by two
+    strings, so it crosses process boundaries as data."""
+
+    problem: str
+    mechanism: str
+
+    def build_and_run(
+        self,
+        policy: SchedulingPolicy,
+        fault_plan: Optional[FaultPlan] = None,
+        sink=None,
+    ) -> RunResult:
+        """One fresh run of the target's workload under ``policy``."""
+        workload, __, __ = _SPECS[self.problem]
+        sched = Scheduler(policy=policy, fault_plan=fault_plan, sink=sink)
+        return workload(sched, self.mechanism)
+
+    def runner(self) -> Callable[[SchedulingPolicy], RunResult]:
+        """``build_and_run`` curried for the engine's signature."""
+        return lambda policy: self.build_and_run(policy)
+
+    @property
+    def checker(self) -> Checker:
+        """The problem oracle + detectors battery for this target."""
+        __, checker, __ = _SPECS[self.problem]
+        return checker
+
+
+def get_target(problem: str, mechanism: str) -> ExplorationTarget:
+    """Resolve a target, validating both coordinates.
+
+    Raises:
+        KeyError: unknown problem, or mechanism not registered for it.
+    """
+    from ..problems.registry import solutions_for
+
+    if problem not in _SPECS:
+        raise KeyError(
+            "unknown exploration problem {!r}; choose from {}".format(
+                problem, ", ".join(sorted(_SPECS))
+            )
+        )
+    registry_problem = _SPECS[problem][2]
+    known = [e.mechanism for e in solutions_for(registry_problem)]
+    if mechanism not in known:
+        raise KeyError(
+            "no {} solution for {!r}; registered mechanisms: {}".format(
+                mechanism, problem, ", ".join(sorted(known))
+            )
+        )
+    return ExplorationTarget(problem, mechanism)
+
+
+def available_targets() -> List[Tuple[str, str]]:
+    """Every (problem, mechanism) pair that :func:`get_target` accepts."""
+    from ..problems.registry import solutions_for
+
+    pairs: List[Tuple[str, str]] = []
+    for problem, (__, __, registry_problem) in sorted(_SPECS.items()):
+        for entry in solutions_for(registry_problem):
+            pairs.append((problem, entry.mechanism))
+    return pairs

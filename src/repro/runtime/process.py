@@ -60,6 +60,7 @@ class SimProcess:
         "arrival",
         "daemon",
         "steps",
+        "park_seq",
         "cleanups",
         "_generator",
         "_wake_value",
@@ -88,6 +89,12 @@ class SimProcess:
         #: Scheduler steps this process has executed — the coordinate a
         #: :class:`~repro.runtime.faults.FaultPlan` kills at.
         self.steps: int = 0
+        #: Monotone stamp of the most recent transition to BLOCKED.  The
+        #: *relative order* of these stamps across currently-blocked
+        #: processes recovers every mechanism's FIFO wait-queue order, which
+        #: is part of the canonical state fingerprint
+        #: (:meth:`Scheduler.fingerprint`) the exploration engine prunes on.
+        self.park_seq: int = -1
         #: Crash-cleanup stack: ``(key, fn)`` pairs registered by the
         #: mechanisms this process is currently inside.  Run LIFO by the
         #: scheduler when the process dies abnormally (killed or failed),

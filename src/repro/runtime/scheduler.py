@@ -31,6 +31,7 @@ Robustness services layered on the same two primitives:
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Any, Callable, Dict, Generator, List, Optional
 
@@ -135,6 +136,12 @@ class Scheduler:
         self._running = False
         self._finished = False
         self._live_nondaemons = 0
+        self._park_counter = 0
+        # Canonical-state fingerprinting (exploration support).  Disabled
+        # until enable_fingerprinting(): ordinary runs pay one is-None test
+        # per logged event, nothing more.
+        self._fp_digest: Optional[int] = None
+        self._fp_providers: List[Callable[[], Any]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -163,6 +170,81 @@ class Scheduler:
         """Snapshot of the current wait-for relation (see
         :class:`~repro.runtime.faults.WaitForGraph`)."""
         return WaitForGraph.snapshot(self._processes, self._holds)
+
+    # ------------------------------------------------------------------
+    # Canonical state fingerprint (exploration support)
+    # ------------------------------------------------------------------
+    def enable_fingerprinting(self) -> None:
+        """Start maintaining the commutative event digest that
+        :meth:`fingerprint` folds in.  Called once (idempotent) by
+        exploration policies before the first scheduling decision; events
+        logged earlier (the initial spawns) are identical across replays of
+        the same system, so omitting them never conflates distinct states."""
+        if self._fp_digest is None:
+            self._fp_digest = 0
+
+    def add_fingerprint_provider(self, fn: Callable[[], Any]) -> None:
+        """Register a zero-argument snapshot of *shared user state* (buffer
+        contents, counters...) to fold into :meth:`fingerprint`.  Mechanism
+        state is already visible to the scheduler (queues, holds, timers,
+        event digest); providers close the gap for state the mechanisms do
+        not log.  The returned value is captured via ``repr``, so any
+        printable structure works."""
+        self._fp_providers.append(fn)
+
+    def fingerprint(self) -> int:
+        """A 64-bit canonical digest of the *scheduler-visible* state:
+
+        * the runnable set, in ready-queue order;
+        * every process's lifecycle coordinates (state, step count, what it
+          is blocked on) plus the relative park order of blocked processes
+          (recovering mechanism FIFO queue order);
+        * the hold registry and live timer deltas;
+        * a commutative (order-insensitive) digest of all events logged
+          since fingerprinting was enabled — interleavings that are
+          permutations of the same events converge, dependent interleavings
+          diverge;
+        * registered fingerprint providers (shared user state).
+
+        Two prefixes with equal fingerprints have behaviourally identical
+        continuations (see DESIGN.md §9 for the soundness argument), which
+        is what lets the exploration engine visit each equivalence class of
+        interleavings once.  Uses BLAKE2b, not ``hash()``, so digests agree
+        across worker processes regardless of ``PYTHONHASHSEED``.
+        """
+        procs = tuple(
+            (p.pid, p.state.value, p.steps, p.blocked_on or "",
+             str(p.wait_obj or ""), p.daemon)
+            for p in self._processes
+        )
+        ready = tuple(p.pid for p in self._ready)
+        park_order = tuple(
+            p.pid for p in sorted(
+                (p for p in self._processes
+                 if p.state is ProcessState.BLOCKED),
+                key=lambda p: p.park_seq,
+            )
+        )
+        holds = tuple(sorted(
+            (resource, tuple(sorted(p.pid for p in holders)))
+            for resource, holders in self._holds.items()
+            if holders
+        ))
+        timers = tuple(sorted(
+            (deadline - self._time, entry.proc.pid, entry.kind)
+            for deadline, __, entry in self._timers
+            if not entry.cancelled
+            and entry.proc.state is ProcessState.BLOCKED
+        ))
+        extra = tuple(repr(fn()) for fn in self._fp_providers)
+        # Absolute virtual time is state for timed problems (alarm clock
+        # deadlines are clock-relative); untimed problems stay at t=0, so
+        # including it never costs them a merge.
+        payload = repr((self._time, ready, procs, park_order, holds, timers,
+                        self._fp_digest, extra)).encode()
+        return int.from_bytes(
+            hashlib.blake2b(payload, digest_size=8).digest(), "big"
+        )
 
     # ------------------------------------------------------------------
     # Process management
@@ -354,6 +436,8 @@ class Scheduler:
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = reason
         proc.wait_obj = resource or obj or reason
+        proc.park_seq = self._park_counter
+        self._park_counter += 1
         entry = None
         if timeout is not None:
             if timeout <= 0:
@@ -423,6 +507,8 @@ class Scheduler:
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = "sleep({})".format(ticks)
         proc.wait_obj = "timer"
+        proc.park_seq = self._park_counter
+        self._park_counter += 1
         yield
 
     # ------------------------------------------------------------------
@@ -470,6 +556,20 @@ class Scheduler:
         pname = actor.name if actor is not None else "<sched>"
         event = Event(self._next_seq(), self._time, pid, pname, kind, obj, detail)
         self.trace.append(event)
+        if self._fp_digest is not None:
+            # Commutative (addition mod 2^64) so permutations of the same
+            # event multiset — i.e. reorderings of independent steps —
+            # produce the same digest.  seq/time are deliberately excluded:
+            # they are positional, not state.
+            self._fp_digest = (
+                self._fp_digest + int.from_bytes(
+                    hashlib.blake2b(
+                        repr((pid, kind, obj, detail)).encode(),
+                        digest_size=8,
+                    ).digest(),
+                    "big",
+                )
+            ) & 0xFFFFFFFFFFFFFFFF
         if self._sink is not None:
             self._sink.on_event(event)
         if self.fault_plan is not None and actor is not None:
@@ -519,6 +619,10 @@ class Scheduler:
         steps = 0
         deadlocked = False
         graph: Optional[WaitForGraph] = None
+        # Exploration policies implement observe_state(scheduler) to capture
+        # the canonical fingerprint at every decision point; plain policies
+        # don't define it and pay nothing (hook resolved once, not per step).
+        observe_state = getattr(self.policy, "observe_state", None)
         try:
             while True:
                 if steps >= self.max_steps:
@@ -546,6 +650,8 @@ class Scheduler:
                             break
                         raise DeadlockError(blocked, graph)
                     break  # everything finished
+                if observe_state is not None:
+                    observe_state(self)
                 index = self.policy.choose(self._ready)
                 proc = self._ready.pop(index)
                 if self.fault_plan is not None:

@@ -1,6 +1,15 @@
 """Verification layer (S9): trace oracles, the schedule explorer, and
-chaos (fault-injection) exploration."""
+chaos (fault-injection) exploration.
 
+The schedule-space search engine itself lives in :mod:`repro.explore`
+(pruning, parallel frontier, minimization, detectors);
+:class:`ScheduleExplorer` here is its naive-DFS compatibility face."""
+
+from ..explore.detectors import (
+    ConflictingAccessChecker,
+    LostWakeupChecker,
+    compose_checkers,
+)
 from .chaos import (
     ChaosResult,
     FaultPoint,
@@ -34,6 +43,9 @@ from .oracles import (
 )
 
 __all__ = [
+    "ConflictingAccessChecker",
+    "LostWakeupChecker",
+    "compose_checkers",
     "ChaosResult",
     "ExplorationResult",
     "FaultPoint",

@@ -35,7 +35,7 @@ from ..runtime.faults import FaultPlan
 from ..runtime.policies import ScriptedPolicy
 from ..runtime.scheduler import Scheduler
 from ..runtime.trace import RunResult
-from .explorer import ScheduleExplorer
+from ..explore.engine import ExplorationEngine
 
 #: A builder runs one *fresh* system under (policy, fault plan) and returns
 #: the result; it must use ``on_deadlock="return"`` / ``on_error="record"``.
@@ -153,13 +153,18 @@ def chaos_explore(
     max_runs_per_point: int = 25,
     max_depth: int = 40,
     max_points: Optional[int] = None,
+    prune: bool = False,
 ) -> ChaosResult:
     """Inject a kill at every reachable fault point; explore schedules.
 
     For each :class:`FaultPoint` a fresh :class:`FaultPlan` kills ``victim``
-    at that step, and a :class:`ScheduleExplorer` (budget
+    at that step, and the exploration engine (budget
     ``max_runs_per_point``) varies the interleaving around the crash.  Every
-    run is classified via :func:`classify_run` and aggregated.
+    run is classified via :func:`classify_run` and aggregated.  ``prune``
+    enables canonical-fingerprint equivalence pruning
+    (:mod:`repro.explore`): per-point coverage goes further on the same
+    budget, at the cost of per-run classification counts no longer being
+    comparable with unpruned runs (equivalent schedules collapse).
     """
     points = enumerate_fault_points(build, victim)
     if max_points is not None:
@@ -186,8 +191,9 @@ def chaos_explore(
                 outcome.contained += 1
             return []  # classification is aggregated, not a "violation"
 
-        ScheduleExplorer(
-            run_one, max_runs=max_runs_per_point, max_depth=max_depth
+        ExplorationEngine(
+            run_one, max_runs=max_runs_per_point, max_depth=max_depth,
+            prune=prune,
         ).explore(tally)
         result.outcomes.append(outcome)
     return result

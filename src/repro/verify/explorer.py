@@ -1,61 +1,37 @@
-"""Bounded stateless schedule exploration.
+"""Bounded stateless schedule exploration — compatibility shim.
 
-Because all nondeterminism flows through the scheduling policy, a run is a
-pure function of its decision string.  The explorer enumerates decision
-strings depth-first: run with a prefix (defaulting to choice 0 afterwards),
-read back how many alternatives existed at each step, and queue every
-first-deviation sibling.  Each distinct schedule is visited exactly once.
+The search engine moved to :mod:`repro.explore` (DESIGN.md §9), which adds
+canonical-fingerprint equivalence pruning, a deterministic parallel
+frontier, witness minimization, and pluggable detectors.  This module
+keeps the original entry point alive: :class:`ScheduleExplorer` is the
+engine with pruning **off** — the exact naive first-deviation DFS this
+file used to implement, schedule for schedule — so existing callers and
+tests see identical enumeration order and counts.
 
-This is a stateless-model-checking style search (bounded by ``max_runs`` and
-``max_depth``), sufficient to *find* the paper's footnote-3 anomaly
-automatically (experiment E5) and to validate safety properties across many
-interleavings in tests.
+New code should use :class:`repro.explore.ExplorationEngine` (serial,
+``prune=True`` where the system registers its shared user state) or
+:func:`repro.explore.explore_parallel` (named targets, many workers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from ..explore.engine import (
+    BuildAndRun,
+    Checker,
+    ExplorationEngine,
+    ExplorationResult,
+)
 
-from ..runtime.policies import ScriptedPolicy
-from ..runtime.trace import RunResult
-
-BuildAndRun = Callable[[ScriptedPolicy], RunResult]
-Checker = Callable[[RunResult], List[str]]
-
-
-@dataclass
-class ExplorationResult:
-    """Outcome of a schedule-space search.
-
-    Attributes:
-        runs: number of schedules executed.
-        violations: list of (decision string, violation messages).
-        exhausted: True when the whole (depth-bounded) space was covered
-            before hitting ``max_runs``.
-        witness: decisions of the first violating schedule, if any.
-    """
-
-    runs: int = 0
-    violations: List[Tuple[Tuple[int, ...], List[str]]] = field(
-        default_factory=list
-    )
-    exhausted: bool = True
-
-    @property
-    def witness(self) -> Optional[Tuple[int, ...]]:
-        if self.violations:
-            return self.violations[0][0]
-        return None
-
-    @property
-    def ok(self) -> bool:
-        """True when no schedule violated the property."""
-        return not self.violations
+__all__ = [
+    "BuildAndRun",
+    "Checker",
+    "ExplorationResult",
+    "ScheduleExplorer",
+]
 
 
-class ScheduleExplorer:
-    """Enumerate schedules of a system under test.
+class ScheduleExplorer(ExplorationEngine):
+    """Enumerate schedules of a system under test (naive, unpruned).
 
     Args:
         build_and_run: builds a *fresh* system with the given policy and
@@ -72,47 +48,5 @@ class ScheduleExplorer:
         max_runs: int = 2000,
         max_depth: int = 60,
     ) -> None:
-        self._build_and_run = build_and_run
-        self.max_runs = max_runs
-        self.max_depth = max_depth
-
-    def explore(
-        self,
-        check: Checker,
-        stop_at_first: bool = False,
-    ) -> ExplorationResult:
-        """Search for schedules where ``check`` reports violations.
-
-        Args:
-            check: maps a run result to violation messages (empty = ok).
-            stop_at_first: return as soon as one violating schedule is found
-                (used when hunting for a witness, e.g. experiment E5).
-        """
-        result = ExplorationResult()
-        stack: List[List[int]] = [[]]
-        while stack:
-            if result.runs >= self.max_runs:
-                result.exhausted = False
-                break
-            prefix = stack.pop()
-            policy = ScriptedPolicy(prefix)
-            run = self._build_and_run(policy)
-            result.runs += 1
-            messages = check(run)
-            if messages:
-                result.violations.append((tuple(policy.taken), messages))
-                if stop_at_first:
-                    result.exhausted = False
-                    return result
-            branch_log = policy.branch_log
-            horizon = min(len(branch_log), self.max_depth)
-            for position in range(len(prefix), horizon):
-                for choice in range(1, branch_log[position]):
-                    stack.append(prefix + [0] * (position - len(prefix)) + [choice])
-        return result
-
-    def find_schedule(self, predicate: Checker) -> Optional[Tuple[int, ...]]:
-        """Return the decision string of the first schedule satisfying
-        ``predicate`` (non-empty result = found), or ``None``."""
-        found = self.explore(predicate, stop_at_first=True)
-        return found.witness
+        super().__init__(build_and_run, max_runs=max_runs,
+                         max_depth=max_depth, prune=False)

@@ -1,0 +1,95 @@
+"""The parallel frontier: results must not depend on worker count.
+
+The CI matrix exercises one entry with REPRO_EXPLORE_TEST_WORKERS=2; the
+determinism regression always additionally compares against 4 workers."""
+
+import os
+
+import pytest
+
+from repro.explore import ExplorationResult, explore_parallel, get_target
+
+ENV_WORKERS = int(os.environ.get("REPRO_EXPLORE_TEST_WORKERS", "0"))
+
+
+def as_tuple(result: ExplorationResult):
+    return (
+        result.runs,
+        result.violations,
+        result.exhausted,
+        result.pruned,
+        result.states,
+        result.witness,
+    )
+
+
+def test_workers_1_vs_4_identical_on_violating_space():
+    # Same seed + budget => identical ExplorationResult, including the
+    # violation list and witness, for 1 and 4 workers (satellite 2).
+    target = get_target("footnote3", "monitor")
+    kwargs = dict(max_runs=300, max_depth=60, prune=True, seed=11)
+    serial = explore_parallel(target, workers=1, **kwargs)
+    fleet = explore_parallel(target, workers=4, **kwargs)
+    assert serial.violations, "budget must reach violating schedules"
+    assert as_tuple(serial) == as_tuple(fleet)
+
+
+def test_workers_identical_on_exhaustive_space():
+    target = get_target("bounded_buffer", "monitor")
+    kwargs = dict(max_runs=5000, max_depth=60, prune=True)
+    serial = explore_parallel(target, workers=1, **kwargs)
+    fleet = explore_parallel(target, workers=4, **kwargs)
+    assert serial.exhausted
+    assert as_tuple(serial) == as_tuple(fleet)
+
+
+@pytest.mark.skipif(ENV_WORKERS < 2,
+                    reason="REPRO_EXPLORE_TEST_WORKERS not set")
+def test_env_selected_worker_count_is_deterministic_too():
+    target = get_target("staged_queue", "monitor")
+    kwargs = dict(max_runs=200, max_depth=60, prune=True, seed=3)
+    serial = explore_parallel(target, workers=1, **kwargs)
+    fleet = explore_parallel(target, workers=ENV_WORKERS, **kwargs)
+    assert as_tuple(serial) == as_tuple(fleet)
+
+
+def test_exhaustive_results_are_seed_independent():
+    target = get_target("one_slot_buffer", "monitor")
+    one = explore_parallel(target, workers=1, max_runs=5000, prune=True,
+                           seed=1)
+    other = explore_parallel(target, workers=1, max_runs=5000, prune=True,
+                             seed=99)
+    assert one.exhausted and other.exhausted
+    assert one.runs == other.runs
+    assert sorted(one.violations) == sorted(other.violations)
+
+
+def test_seed_steers_budgeted_searches():
+    target = get_target("footnote3", "monitor")
+    fixed = dict(workers=1, max_runs=40, max_depth=60, prune=True)
+    base = explore_parallel(target, seed=5, **fixed)
+    again = explore_parallel(target, seed=5, **fixed)
+    assert as_tuple(base) == as_tuple(again), "same seed must replay"
+    shifted = explore_parallel(target, seed=6, **fixed)
+    # Different seeds visit the truncated space in a different order;
+    # the run *count* stays pinned to the budget either way.
+    assert shifted.runs == base.runs == 40
+
+
+def test_checker_override_requires_single_worker():
+    target = get_target("bounded_buffer", "monitor")
+    override = lambda run: []
+    result = explore_parallel(target, override, workers=1, max_runs=50)
+    assert result.runs == 50
+    with pytest.raises(ValueError):
+        explore_parallel(target, override, workers=2, max_runs=50)
+
+
+def test_stop_at_first_parity_across_workers():
+    target = get_target("footnote3", "monitor")
+    kwargs = dict(max_runs=500, max_depth=60, prune=True,
+                  stop_at_first=True)
+    serial = explore_parallel(target, workers=1, **kwargs)
+    fleet = explore_parallel(target, workers=4, **kwargs)
+    assert serial.witness is not None
+    assert as_tuple(serial) == as_tuple(fleet)
