@@ -28,15 +28,19 @@ def emit(title: str, body: str) -> None:
     print(body)
 
 
-def persist(name: str, payload: Dict[str, Any]) -> str:
-    """Merge ``payload`` into ``benchmarks/BENCH_<name>.json`` and return
+def persist(name: str, payload: Dict[str, Any],
+            directory: str = _HERE) -> str:
+    """Merge ``payload`` into ``<directory>/BENCH_<name>.json`` and return
     the path.
 
     Top-level keys overwrite; untouched keys survive, so several tests (or
     several bench modules sharing one report file) can each contribute their
-    own section without clobbering the rest.
+    own section without clobbering the rest.  Serialization is canonical —
+    sorted keys, two-space indent, ASCII, trailing newline, non-JSON values
+    coerced through ``str`` — so re-running a bench with unchanged numbers
+    produces a byte-identical file and commits diff cleanly.
     """
-    path = os.path.join(_HERE, "BENCH_{}.json".format(name))
+    path = os.path.join(directory, "BENCH_{}.json".format(name))
     data: Dict[str, Any] = {}
     if os.path.exists(path):
         try:
@@ -46,6 +50,7 @@ def persist(name: str, payload: Dict[str, Any]) -> str:
             data = {}
     data.update(payload)
     with open(path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
+        json.dump(data, handle, indent=2, sort_keys=True, ensure_ascii=True,
+                  default=str)
         handle.write("\n")
     return path

@@ -24,6 +24,15 @@ Commands:
   (``repro explore <problem> <mechanism>``): equivalence-pruned search,
   ``--workers N`` for a parallel frontier, ``--minimize`` to shrink a
   found witness; ``repro explore list`` names the available targets.
+* ``causal``        — happens-before critical path of one (problem,
+  mechanism) run: per-segment attribution (exclusion vs priority
+  constraints, T1-T6 information types), what-if virtual speedups, the
+  run record persisted under ``.repro/runs/``; ``--export chrome``
+  highlights the critical path in the trace.
+* ``regress``       — compare current runs against a stored baseline
+  (``--baseline path``) and exit nonzero on gated-metric regressions;
+  ``--write-baseline path`` records the baseline, ``--inject-delay N``
+  injects a synthetic slowdown to prove the gate trips.
 
 ``--seed`` (where accepted) switches the run to a seeded random scheduling
 policy; omitting it keeps the deterministic FIFO schedule.  ``--json``
@@ -34,8 +43,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
+
+#: default run-store location for ``repro causal`` / ``repro regress``.
+RUNS_DIR = os.path.join(".repro", "runs")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -285,6 +298,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 "tests": minimized.tests,
                 "locally_minimal": minimized.locally_minimal,
                 "messages": list(minimized.messages),
+                "causal": list(minimized.causal),
             }
         print(json.dumps(payload, indent=2))
         return 0 if result.ok else 1
@@ -312,6 +326,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print("  " + message)
         print()
         print(minimized.timeline)
+        if minimized.causal:
+            print()
+            print("causal chain (critical-path tail of the violating run):")
+            for line in minimized.causal:
+                print("  " + line)
     return 1
 
 
@@ -323,19 +342,158 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print("nothing matches problem={} mechanism={}".format(
             args.problem, args.mechanism))
         return 1
+    payload = [
+        {
+            "problem": r.problem,
+            "mechanism": r.mechanism,
+            "seed": r.seed,
+            "metrics": r.metrics.to_dict(),
+        }
+        for r in reports
+    ]
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        if not args.json:
+            print("wrote metrics for {} run(s) to {}".format(
+                len(payload), args.out))
     if args.json:
-        print(json.dumps([
-            {
-                "problem": r.problem,
-                "mechanism": r.mechanism,
-                "seed": r.seed,
-                "metrics": r.metrics.to_dict(),
-            }
-            for r in reports
-        ], indent=2, default=str))
+        print(json.dumps(payload, indent=2, default=str))
         return 0
     print(comparison_table(reports))
     return 0
+
+
+def _fault_plan(ticks: Optional[int]):
+    """``--inject-delay N`` -> a FaultPlan delaying every wakeup of every
+    process by N ticks (a synthetic slowdown the regression gate must
+    catch — the self-test knob CI and the tests use)."""
+    if not ticks:
+        return None
+    from .runtime.faults import FaultPlan
+
+    return FaultPlan().delay_wakeups("*", ticks)
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    from .obs import RunStore, profileable, run_causal, write_chrome_trace
+
+    try:
+        report = run_causal(args.problem, args.mechanism, seed=args.seed)
+    except KeyError:
+        print("no profiling workload for {}/{}; choose one of:".format(
+            args.problem, args.mechanism))
+        for label in profileable():
+            print("  " + label)
+        return 1
+
+    saved = None
+    if not args.no_save:
+        saved = RunStore(args.store).save(report.record)
+
+    if args.export:
+        out = args.out or "causal_trace.json"
+        label = "{}/{}".format(args.problem, args.mechanism)
+        write_chrome_trace(out, report.profile.spans,
+                           report.profile.result.trace, label,
+                           critical=report.path.segments)
+        if not args.json:
+            print("wrote chrome trace (critical path highlighted) to "
+                  + out)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True,
+                         default=str))
+        return 0
+    label = "{}/{}{}".format(
+        args.problem, args.mechanism,
+        " (seed {})".format(args.seed) if args.seed is not None else "")
+    print(report.path.render(label))
+    if saved:
+        print()
+        print("record saved to " + saved)
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .obs import (
+        compare_records,
+        dump_baseline,
+        load_baseline,
+        render_comparison,
+        run_causal,
+    )
+    from .obs.profiles import WORKLOADS
+    from .problems.registry import solutions_for
+
+    if args.write_baseline:
+        records = []
+        for entry in solutions_for(args.problem, args.mechanism):
+            if entry.problem not in WORKLOADS:
+                continue
+            records.append(run_causal(entry.problem, entry.mechanism,
+                                      seed=args.seed).record)
+        with open(args.write_baseline, "w") as fh:
+            fh.write(dump_baseline(records))
+        print("wrote baseline of {} record(s) to {}".format(
+            len(records), args.write_baseline))
+        return 0
+
+    if not args.baseline:
+        print("error: --baseline (or --write-baseline) is required",
+              file=sys.stderr)
+        return 2
+    baseline = load_baseline(args.baseline)
+    if args.problem or args.mechanism:
+        baseline = [
+            r for r in baseline
+            if (args.problem is None or r.problem == args.problem)
+            and (args.mechanism is None or r.mechanism == args.mechanism)
+        ]
+    if not baseline:
+        print("baseline {} holds no matching records".format(args.baseline),
+              file=sys.stderr)
+        return 2
+
+    pairs = []
+    regressions = []
+    missing = []
+    for base in baseline:
+        try:
+            current = run_causal(
+                base.problem, base.mechanism, seed=base.seed,
+                fault_plan=_fault_plan(args.inject_delay),
+            ).record
+        except KeyError:
+            missing.append(base.key)
+            continue
+        pairs.append((base, current))
+        regressions.extend(
+            compare_records(base, current, threshold_pct=args.threshold))
+
+    if args.json:
+        print(json.dumps({
+            "baseline": args.baseline,
+            "threshold_pct": args.threshold,
+            "compared": [cur.key for __, cur in pairs],
+            "missing": missing,
+            "regressions": [
+                {
+                    "key": r.key,
+                    "metric": r.metric,
+                    "baseline": r.baseline,
+                    "current": r.current,
+                    "delta_pct": round(r.delta_pct, 2),
+                }
+                for r in regressions
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_comparison(pairs, regressions))
+        if missing:
+            print("\nskipped (no workload here): " + ", ".join(missing))
+    return 1 if regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -414,7 +572,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeded random scheduling policy (default: FIFO)")
     p_met.add_argument("--json", action="store_true",
                        help="machine-readable output")
+    p_met.add_argument("--out", default=None,
+                       help="also persist the comparison JSON to this path")
     p_met.set_defaults(func=_cmd_metrics)
+
+    p_cau = sub.add_parser(
+        "causal",
+        help="happens-before critical path of one (problem, mechanism) run",
+    )
+    p_cau.add_argument("problem")
+    p_cau.add_argument("mechanism")
+    p_cau.add_argument("--seed", type=int, default=None,
+                       help="seeded random scheduling policy (default: FIFO)")
+    p_cau.add_argument("--export", choices=("chrome",), default=None,
+                       help="also write a chrome trace with the critical "
+                       "path highlighted")
+    p_cau.add_argument("--out", default=None,
+                       help="export path (default: causal_trace.json)")
+    p_cau.add_argument("--store", default=RUNS_DIR,
+                       help="run-store directory (default: {})".format(
+                           RUNS_DIR))
+    p_cau.add_argument("--no-save", action="store_true",
+                       help="analyse only; do not persist a run record")
+    p_cau.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_cau.set_defaults(func=_cmd_causal)
+
+    p_reg = sub.add_parser(
+        "regress",
+        help="gate current runs against a stored causal baseline",
+    )
+    p_reg.add_argument("--baseline", default=None,
+                       help="baseline file or run-store directory")
+    p_reg.add_argument("--write-baseline", default=None, metavar="PATH",
+                       help="record a fresh baseline to PATH and exit")
+    p_reg.add_argument("--threshold", type=float, default=10.0,
+                       help="regression threshold in percent (default 10)")
+    p_reg.add_argument("--problem", default=None,
+                       help="restrict to one problem")
+    p_reg.add_argument("--mechanism", default=None,
+                       help="restrict to one mechanism")
+    p_reg.add_argument("--seed", type=int, default=None,
+                       help="seed used when writing a baseline")
+    p_reg.add_argument("--inject-delay", type=int, default=None,
+                       metavar="TICKS",
+                       help="delay every wakeup by TICKS (synthetic "
+                       "slowdown; self-test of the gate)")
+    p_reg.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_reg.set_defaults(func=_cmd_regress)
 
     p_exp = sub.add_parser(
         "explore",

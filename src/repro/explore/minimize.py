@@ -50,6 +50,9 @@ class MinimizedWitness:
         locally_minimal: False only when ``max_tests`` ran out before the
             fixpoint was reached (the witness still reproduces).
         timeline: ASCII span timeline of the minimized run.
+        causal: a happens-before causal explanation of the violating run —
+            the tail of its critical path (who ran, who waited on what,
+            attributed to constraint kind), one line per segment.
     """
 
     original: Tuple[int, ...]
@@ -58,6 +61,7 @@ class MinimizedWitness:
     tests: int
     locally_minimal: bool
     timeline: str
+    causal: Tuple[str, ...] = ()
 
     @property
     def reduction(self) -> int:
@@ -139,11 +143,12 @@ def minimize_witness(
                 else:
                     break
 
-    # One final replay for the report: messages + span timeline.  The obs
-    # import is deferred: repro.obs pulls in the problem catalog, which
-    # imports repro.verify, which shims through this package — importing
-    # it at module scope would close that cycle.
-    from ..obs import ascii_timeline, fold_spans
+    # One final replay for the report: messages + span timeline + causal
+    # chain.  The obs import is deferred: repro.obs pulls in the problem
+    # catalog, which imports repro.verify, which shims through this
+    # package — importing it at module scope would close that cycle.
+    from ..obs import ascii_timeline, causal_chain, compute_critical_path, \
+        fold_spans
 
     final = build_and_run(ScriptedPolicy(current))
     messages = tuple(check(final))
@@ -155,6 +160,7 @@ def minimize_witness(
         tests=tests,
         locally_minimal=converged,
         timeline=ascii_timeline(spans, width=timeline_width),
+        causal=tuple(causal_chain(compute_critical_path(final.trace))),
     )
 
 

@@ -17,22 +17,49 @@ or from the command line::
         --out /tmp/trace.json
 """
 
+from .causality import (
+    HBEdge,
+    HBGraph,
+    Wake,
+    WaitClass,
+    build_hb_graph,
+    classify_wait,
+    wake_records,
+)
+from .critical_path import (
+    CriticalPathReport,
+    Segment,
+    causal_chain,
+    compute_critical_path,
+)
 from .exporters import (
     ascii_contention,
     ascii_timeline,
     chrome_trace,
     jsonl_lines,
+    parse_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
 from .metrics import Histogram, ObjectMetrics, RunMetrics, compute_metrics
 from .profiles import (
     WORKLOADS,
+    CausalReport,
     ProfileReport,
     comparison_table,
     metrics_suite,
     profileable,
+    run_causal,
     run_profile,
+)
+from .runstore import (
+    Regression,
+    RunRecord,
+    RunStore,
+    compare_records,
+    dump_baseline,
+    load_baseline,
+    render_comparison,
 )
 from .sink import InstrumentationSink, MetricsSink, NullSink, RecordingSink
 from .spans import (
@@ -69,4 +96,25 @@ __all__ = [
     "metrics_suite",
     "comparison_table",
     "profileable",
+    "HBGraph",
+    "HBEdge",
+    "Wake",
+    "WaitClass",
+    "build_hb_graph",
+    "wake_records",
+    "classify_wait",
+    "CriticalPathReport",
+    "Segment",
+    "compute_critical_path",
+    "causal_chain",
+    "parse_jsonl",
+    "CausalReport",
+    "run_causal",
+    "RunRecord",
+    "RunStore",
+    "Regression",
+    "compare_records",
+    "load_baseline",
+    "dump_baseline",
+    "render_comparison",
 ]

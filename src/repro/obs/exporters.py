@@ -42,14 +42,36 @@ def chrome_trace(
     spans: Sequence[Span],
     trace: Optional[Trace] = None,
     run_label: str = "repro",
+    critical: Optional[Sequence] = None,
 ) -> Dict[str, Any]:
-    """Build the Chrome trace-event dict (``{"traceEvents": [...]}``)."""
+    """Build the Chrome trace-event dict (``{"traceEvents": [...]}``).
+
+    ``critical`` takes the segments of a
+    :class:`~repro.obs.critical_path.CriticalPathReport`: each becomes a
+    complete event on a dedicated ``critical path`` track (tid one past
+    the largest process id), and every ordinary span that overlaps a
+    critical segment gains ``args.critical = True`` so the path is
+    highlightable in Perfetto.
+    """
     events: List[Dict[str, Any]] = []
     seen_tids: Dict[int, str] = {}
+    crit_windows = [(seg.start_seq, seg.end_seq) for seg in critical or ()]
+
+    def on_path(lo: int, hi: int) -> bool:
+        return any(lo < c_hi and c_lo < hi for c_lo, c_hi in crit_windows)
 
     for span in spans:
         if span.pid >= 0:
             seen_tids.setdefault(span.pid, span.pname)
+        args = {
+            "obj": span.obj,
+            "outcome": span.outcome,
+            "detail": span.detail,
+            "start_time": span.start_time,
+            "end_time": span.end_time,
+        }
+        if crit_windows and on_path(span.start_seq, span.end_seq):
+            args["critical"] = True
         events.append({
             "name": "%s %s" % (span.kind, span.obj),
             "cat": _CATEGORIES.get(span.kind, span.kind),
@@ -59,14 +81,29 @@ def chrome_trace(
             "dur": max(span.duration, 1),
             "pid": 0,
             "tid": span.pid if span.pid >= 0 else 0,
-            "args": {
-                "obj": span.obj,
-                "outcome": span.outcome,
-                "detail": span.detail,
-                "start_time": span.start_time,
-                "end_time": span.end_time,
-            },
+            "args": args,
         })
+
+    if critical:
+        crit_tid = max([span.pid for span in spans if span.pid >= 0],
+                       default=-1) + 1
+        seen_tids.setdefault(crit_tid, "critical path")
+        for seg in critical:
+            events.append({
+                "name": "%s %s" % (seg.kind, seg.obj or seg.pname),
+                "cat": "critical",
+                "ph": "X",
+                "ts": seg.start_seq,
+                "dur": max(seg.duration, 1),
+                "pid": 0,
+                "tid": crit_tid,
+                "args": {
+                    "pname": seg.pname,
+                    "reason": seg.reason,
+                    "constraint": seg.constraint,
+                    "info_types": list(seg.info_types),
+                },
+            })
 
     if trace is not None:
         for ev in trace:
@@ -111,9 +148,11 @@ def write_chrome_trace(
     spans: Sequence[Span],
     trace: Optional[Trace] = None,
     run_label: str = "repro",
+    critical: Optional[Sequence] = None,
 ) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(spans, trace, run_label), fh, indent=1)
+        json.dump(chrome_trace(spans, trace, run_label, critical=critical),
+                  fh, indent=1)
 
 
 def jsonl_lines(
@@ -127,13 +166,33 @@ def jsonl_lines(
         yield json.dumps(record, default=str)
     if trace is not None:
         for ev in trace:
-            record = ev.to_dict() if hasattr(ev, "to_dict") else {
-                "seq": ev.seq, "time": ev.time, "pid": ev.pid,
-                "pname": ev.pname, "kind": ev.kind, "obj": ev.obj,
-                "detail": ev.detail,
-            }
+            record = ev.to_dict()
             record["record"] = "event"
             yield json.dumps(record, default=str)
+
+
+def parse_jsonl(lines: Iterable[str]):
+    """Inverse of :func:`jsonl_lines`: rebuild ``(spans, events)``.
+
+    Round-trips exactly for JSON-representable details; a detail that was
+    stringified on export stays a string (the exporter's ``default=str``
+    is lossy by design).
+    """
+    from ..runtime.trace import Event
+
+    spans: List[Span] = []
+    events: List[Event] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        what = record.pop("record", "span")
+        if what == "span":
+            spans.append(Span.from_dict(record))
+        else:
+            events.append(Event.from_dict(record))
+    return spans, events
 
 
 def write_jsonl(

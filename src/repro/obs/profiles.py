@@ -129,9 +129,15 @@ def run_profile(
     mechanism: str,
     seed: Optional[int] = None,
     policy: Optional[SchedulingPolicy] = None,
+    fault_plan=None,
 ) -> ProfileReport:
     """Run the canonical workload for ``(problem, mechanism)`` under full
-    instrumentation; raises ``KeyError`` for unknown pairs."""
+    instrumentation; raises ``KeyError`` for unknown pairs.
+
+    ``fault_plan`` injects a :class:`~repro.runtime.faults.FaultPlan` into
+    the instrumented scheduler — how ``repro regress --inject-delay``
+    manufactures a synthetic slowdown to prove the gate trips.
+    """
     entry = get_solution(problem, mechanism)
     runner = WORKLOADS.get(problem)
     if runner is None:
@@ -139,7 +145,7 @@ def run_profile(
     if policy is None and seed is not None:
         policy = RandomPolicy(seed)
     sink = RecordingSink()
-    sched = Scheduler(policy=policy, sink=sink)
+    sched = Scheduler(policy=policy, sink=sink, fault_plan=fault_plan)
     result = runner(entry.factory, sched)
     spans = fold_spans(result.trace)
     metrics = compute_metrics(result, spans, sink)
@@ -152,6 +158,43 @@ def run_profile(
         sink=sink,
         seed=seed,
     )
+
+
+@dataclass
+class CausalReport:
+    """One causally-analysed run: the profile plus its happens-before
+    critical path and the durable record the run store persists."""
+
+    profile: ProfileReport
+    path: Any  # CriticalPathReport
+    record: Any  # RunRecord
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "problem": self.profile.problem,
+            "mechanism": self.profile.mechanism,
+            "seed": self.profile.seed,
+            "critical_path": self.path.to_dict(),
+            "record": self.record.to_dict(),
+        }
+
+
+def run_causal(
+    problem: str,
+    mechanism: str,
+    seed: Optional[int] = None,
+    fault_plan=None,
+) -> CausalReport:
+    """Profile one pair and derive its critical path + run record."""
+    from .critical_path import compute_critical_path
+    from .runstore import RunRecord
+
+    profile = run_profile(problem, mechanism, seed=seed,
+                          fault_plan=fault_plan)
+    path = compute_critical_path(profile.result.trace)
+    record = RunRecord.from_report(problem, mechanism, path,
+                                   metrics=profile.metrics, seed=seed)
+    return CausalReport(profile=profile, path=path, record=record)
 
 
 def metrics_suite(

@@ -92,6 +92,23 @@ class Span:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (JSONL re-import);
+        ``duration`` is derived, not stored."""
+        return cls(
+            kind=data["kind"],
+            pid=data["pid"],
+            pname=data["pname"],
+            obj=data["obj"],
+            start_seq=data["start_seq"],
+            end_seq=data["end_seq"],
+            start_time=data.get("start_time", 0),
+            end_time=data.get("end_time", 0),
+            outcome=data.get("outcome", "ok"),
+            detail=data.get("detail", ""),
+        )
+
 
 @dataclass
 class _Possession:

@@ -123,7 +123,11 @@ class FaultPlan:
         return self
 
     def delay_wakeups(self, process: str, ticks: int) -> "FaultPlan":
-        """Deliver every wakeup of ``process`` ``ticks`` late."""
+        """Deliver every wakeup of ``process`` ``ticks`` late.
+
+        ``process="*"`` delays every process — a uniform synthetic slowdown
+        (what ``repro regress --inject-delay`` uses to prove the gate
+        trips)."""
         if ticks <= 0:
             raise ValueError("delay must be positive")
         self.faults.append(Fault("delay", process=process, ticks=ticks))
@@ -191,7 +195,7 @@ class FaultPlan:
         """Extra ticks to delay a wakeup of ``pname`` (0 = deliver now)."""
         total = 0
         for f in self.faults:
-            if f.action == "delay" and f.process == pname:
+            if f.action == "delay" and f.process in (pname, "*"):
                 total += f.ticks
         return total
 

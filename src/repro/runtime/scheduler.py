@@ -449,7 +449,10 @@ class Scheduler:
             heapq.heappush(
                 self._timers, (self._time + timeout, self._next_seq(), entry)
             )
-        self.log("blocked", obj or reason)
+        # The reason rides along as detail: the causal analyses classify
+        # waits by it ("enter(m)" vs "wait(m.c)" vs "P(s)"...), and obj
+        # alone does not distinguish an entry wait from a condition wait.
+        self.log("blocked", obj or reason, reason)
         value = yield
         if entry is not None:
             entry.cancelled = True  # normal wakeup: the timer is now stale

@@ -59,6 +59,31 @@ class Event:
             base += " {!r}".format(self.detail)
         return base
 
+    def to_dict(self) -> dict:
+        """The event as a plain dictionary (exporter/round-trip shape)."""
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "pid": self.pid,
+            "pname": self.pname,
+            "kind": self.kind,
+            "obj": self.obj,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output (JSONL re-import)."""
+        return cls(
+            seq=data["seq"],
+            time=data["time"],
+            pid=data["pid"],
+            pname=data["pname"],
+            kind=data["kind"],
+            obj=data.get("obj", ""),
+            detail=data.get("detail"),
+        )
+
 
 class TraceView:
     """A lazy view over a filtered trace.
@@ -218,18 +243,7 @@ class Trace:
     # ------------------------------------------------------------------
     def to_dicts(self) -> List[dict]:
         """The trace as plain dictionaries (for external analysis)."""
-        return [
-            {
-                "seq": ev.seq,
-                "time": ev.time,
-                "pid": ev.pid,
-                "pname": ev.pname,
-                "kind": ev.kind,
-                "obj": ev.obj,
-                "detail": ev.detail,
-            }
-            for ev in self._events
-        ]
+        return [ev.to_dict() for ev in self._events]
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """JSON export; non-serializable details are stringified."""
