@@ -171,6 +171,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
                     "contained": r.contained,
                     "propagated": r.propagated,
                     "deadlocked": r.deadlocked,
+                    "step_limited": r.step_limited,
                     "violations": r.violations,
                     "classification": r.classification,
                     "expected": expected[r.name],
@@ -185,6 +186,73 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         print("\nUNEXPECTED:", *surprises, sep="\n  ")
         return 1
     print("\nall classifications match the fault model (DESIGN.md)")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .verify.recovery import (
+        expected_recovery,
+        minimal_defeat_witness,
+        mttr_fingerprints,
+        recovery_report,
+    )
+
+    results, table = recovery_report(fast=args.fast)
+    expected = expected_recovery()
+    surprises = [
+        "{}: got {}, acceptable: {}".format(
+            r.name, r.classification, "/".join(expected[r.name])
+        )
+        for r in results
+        if r.classification not in expected[r.name]
+    ]
+    fingerprints = mttr_fingerprints()
+    witness = minimal_defeat_witness() if args.search else None
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "victim": r.victim,
+                    "runs": r.runs,
+                    "recovered": r.recovered,
+                    "degraded": r.degraded,
+                    "wedged": r.wedged,
+                    "violated": r.violated,
+                    "violations": r.violations,
+                    "classification": r.classification,
+                    "expected": list(expected[r.name]),
+                }
+                for r in results
+            ],
+            "mttr": fingerprints,
+            "surprises": surprises,
+        }
+        if witness is not None:
+            payload["witness"] = {
+                "tried": witness.tried,
+                "kills": [k.describe() for k in witness.witness or ()],
+                "label": witness.witness_label,
+            }
+        print(json.dumps(payload, indent=2))
+        return 1 if surprises else 0
+    print(table)
+    print("\nDeterministic MTTR fingerprints (kill at deepest fault point):")
+    for name, fp in fingerprints.items():
+        print("  {:<18} mttr={:<6} rate={:<5} [{}] ({})".format(
+            name,
+            "-" if fp["mttr"] is None else fp["mttr"],
+            fp["recovery_rate"],
+            fp["classification"],
+            fp["kill"],
+        ))
+    if witness is not None:
+        print("\nFault-plan search ({} plans tried):".format(witness.tried))
+        print("  " + witness.describe())
+    if surprises:
+        print("\nUNEXPECTED:", *surprises, sep="\n  ")
+        return 1
+    print("\nall classifications within the recovery contract (DESIGN.md)")
     return 0
 
 
@@ -543,6 +611,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_rob.set_defaults(func=_cmd_robustness)
+
+    p_rec = sub.add_parser(
+        "recover",
+        help="supervised recovery table, MTTR fingerprints, fault search",
+    )
+    p_rec.add_argument("--fast", action="store_true",
+                       help="trim the per-fault-point schedule budget")
+    p_rec.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_rec.add_argument("--search", action="store_true",
+                       help="search for a minimal crash set that defeats "
+                            "recovery (ddmin-minimized)")
+    p_rec.set_defaults(func=_cmd_recover)
 
     p_prof = sub.add_parser(
         "profile", help="instrumented run of one (problem, mechanism) pair"

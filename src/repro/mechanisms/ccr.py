@@ -60,6 +60,9 @@ class SharedRegion:
         self._sched = sched
         self.name = name
         self.vars: Dict[str, Any] = dict(variables or {})
+        self._label = "region {}".format(name)
+        self._occ_key = ("region_occ", id(self))
+        self._wait_key = ("region_wait", id(self))
         self._occupant: Optional[SimProcess] = None
         self._arrivals = 0
         # (arrival, proc, guard)
@@ -95,20 +98,27 @@ class SharedRegion:
         self._arrivals += 1
         self._waiters.append((self._arrivals, me, guard))
         self._waiters.sort(key=lambda item: item[0])
-        self._sched.probe("region", "region {}".format(self.name),
-                          len(self._waiters))
+        self._sched.probe("region", self._label, len(self._waiters))
+        self._sched.register_cleanup(self._wait_key, self._on_waiter_death)
         if self._occupant is None:
             winner = self._pick_eligible()
             if winner is me:
-                self._occupant = me
+                self._sched.unregister_cleanup(self._wait_key, me)
+                self._take(me)
                 self._sched.log("enter", self.name)
                 return
             if winner is not None:
                 # An earlier-arrived eligible waiter outranks us; hand the
                 # region to it and park ourselves.
-                self._occupant = winner
+                self._take(winner)
                 self._sched.unpark(winner)
-        yield from self._sched.park("region({})".format(self.name), self.name)
+        try:
+            yield from self._sched.park(
+                "region({})".format(self.name), self.name,
+                resource=self._label,
+            )
+        finally:
+            self._sched.unregister_cleanup(self._wait_key, me)
         # Woken as the region's occupant: the guard held at dispatch time,
         # and occupancy was assigned before anyone else could run, so no
         # other region body can have invalidated it (vars are only mutated
@@ -127,25 +137,77 @@ class SharedRegion:
                 )
             )
         self._sched.log("leave", self.name)
-        self._occupant = None
+        self._release(me)
         self._dispatch()
 
     def _pick_eligible(self) -> Optional[SimProcess]:
         """Remove and return the earliest-arrived waiter whose guard holds
-        (``None`` when nobody is eligible)."""
-        for position, (__, proc, guard) in enumerate(self._waiters):
+        (``None`` when nobody is eligible).  Dead waiters are discarded on
+        the way (their crash cleanup normally removes them already)."""
+        for position, (__, proc, guard) in enumerate(list(self._waiters)):
+            if not proc.alive:
+                continue
             if self._guard_holds(guard):
-                del self._waiters[position]
-                self._sched.probe("region", "region {}".format(self.name),
-                                  len(self._waiters))
+                self._waiters.remove((__, proc, guard))
+                self._sched.probe("region", self._label, len(self._waiters))
                 return proc
         return None
 
     def _dispatch(self) -> None:
         winner = self._pick_eligible()
         if winner is not None:
-            self._occupant = winner
+            self._take(winner)
             self._sched.unpark(winner)
+
+    # ------------------------------------------------------------------
+    # Occupancy bookkeeping (crash semantics live here)
+    # ------------------------------------------------------------------
+    def _take(self, proc: SimProcess) -> None:
+        """Assign occupancy (possibly to a still-parked waiter: handoff),
+        recording the hold and a crash cleanup so a dead occupant can never
+        wedge the region."""
+        self._occupant = proc
+        self._sched.note_hold(self._label, proc)
+        self._sched.register_cleanup(
+            self._occ_key, self._on_occupant_death, proc=proc
+        )
+
+    def _release(self, proc: SimProcess) -> None:
+        self._sched.unregister_cleanup(self._occ_key, proc)
+        self._sched.note_release(self._label, proc)
+        self._occupant = None
+
+    def _on_waiter_death(self, proc: SimProcess) -> None:
+        """A dead entry waiter is dequeued — no dispatch ever targets it."""
+        for entry in self._waiters:
+            if entry[1] is proc:
+                self._waiters.remove(entry)
+                self._sched.probe("region", self._label, len(self._waiters))
+                return
+
+    def _on_occupant_death(self, proc: SimProcess) -> None:
+        """A dead occupant releases the region — survivors re-evaluate
+        guards and proceed (the region is fault-containing)."""
+        if self._occupant is not proc:
+            return
+        self._sched.log("leave", self.name, "crash_release", proc=proc)
+        self._sched.note_release(self._label, proc)
+        self._occupant = None
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Recovery hook (lease reclamation)
+    # ------------------------------------------------------------------
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation: defensive sweep mirroring the crash cleanups
+        (release a dead occupant, dequeue a dead waiter)."""
+        if self._occupant is proc:
+            self._on_occupant_death(proc)
+            return "released"
+        if any(entry[1] is proc for entry in self._waiters):
+            self._on_waiter_death(proc)
+            return "dequeued"
+        return None
 
     # ------------------------------------------------------------------
     def region(self, guard: Guard, body: Callable[[Dict[str, Any]], Any]) -> Generator:

@@ -169,6 +169,35 @@ class Channel:
         if self.broken:
             raise PeerFailed(self.name, self.broken_by or "?")
 
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation: lift the quarantine a dead user caused.
+
+        A broken channel is *quarantined* — every later operation raises
+        :class:`PeerFailed`.  Once a supervisor has reclaimed the dead
+        user's other holds and is about to restart it, that quarantine must
+        lift or the restarted incarnation (and its partners) could never
+        rendezvous again: the broken flag is reset, the corpse is dropped
+        from the user set, and any stale offers are cleared.  Buffered
+        messages survive — they were sent before the crash and remain
+        deliverable."""
+        was_user = proc.pid in self._users
+        self._users.discard(proc.pid)
+        if not self.broken or not was_user:
+            return None
+        self.broken = False
+        self.broken_by = None
+        self._senders = [
+            o for o in self._senders
+            if o.claimable() and o.proc.alive
+        ]
+        self._receivers = [
+            o for o in self._receivers
+            if o.claimable() and o.proc.alive
+        ]
+        self._probe_offers()
+        self._sched.log("chan_reset", self.name, proc.name, proc=proc)
+        return "reset"
+
     # ------------------------------------------------------------------
     def _first_claimable(self, offers: List[_Offer]) -> Optional[_Offer]:
         for offer in offers:

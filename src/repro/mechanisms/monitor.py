@@ -70,6 +70,7 @@ class Monitor:
         self._active: Optional[SimProcess] = None
         self._entry: List[SimProcess] = []
         self._urgent: List[SimProcess] = []  # LIFO stack of signallers
+        self._degraded = False  # conditions ignore priority when set
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,6 +193,33 @@ class Monitor:
         self._pass_possession()
 
     # ------------------------------------------------------------------
+    # Recovery hooks (lease reclamation / graceful degradation)
+    # ------------------------------------------------------------------
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation.  The monitor is already fault-containing (a
+        dead occupant's cleanup releases possession), so this is a
+        defensive sweep for the supervisor's uniform reclaim pass."""
+        if self._active is proc:
+            self._on_active_death(proc)
+            return "released"
+        if proc in self._entry:
+            self._discard_entry(proc)
+            return "dequeued"
+        if proc in self._urgent:
+            self._on_urgent_death(proc)
+            return "dequeued"
+        return None
+
+    def degrade(self) -> Optional[str]:
+        """Graceful degradation: condition queues stop honouring priority
+        waits and serve strictly FIFO.  Mutual exclusion (possession) is
+        untouched — only the paper's *priority* constraints are relaxed."""
+        if self._degraded:
+            return None
+        self._degraded = True
+        return "priority waits -> fifo"
+
+    # ------------------------------------------------------------------
     # Conditions
     # ------------------------------------------------------------------
     def condition(self, name: str) -> "Condition":
@@ -271,6 +299,8 @@ class Condition:
         """
         me = self._monitor._require_active("wait({})".format(self.name))
         self._counter += 1
+        if self._monitor._degraded:
+            priority = 0  # degraded mode: arrival order only
         self._waiters.append((priority, self._counter, me))
         self._waiters.sort(key=lambda item: (item[0], item[1]))
         self._probe()

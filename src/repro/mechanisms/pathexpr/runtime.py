@@ -32,6 +32,7 @@ import inspect
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence as Seq, Tuple, Union
 
 from ...runtime.errors import IllegalOperationError
+from ...runtime.process import SimProcess
 from ...runtime.scheduler import Scheduler
 from .ast import PathExpr
 from .compiler import Action, OpTable, PathCompiler
@@ -232,6 +233,17 @@ class PathResource:
                 else:
                     self._sched.log("path_abandon", label,
                                     prologue.describe())
+
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation hook (recovery runtime).
+
+        Path expressions are already self-recovering: every ``invoke``
+        registers a per-invocation cleanup that repairs the semaphore
+        network the moment its process dies (see :meth:`_recover`), so by
+        the time a lease manager sweeps a corpse there is nothing left to
+        revoke.  Returns ``None`` (nothing reclaimed) by design.
+        """
+        return None
 
     def operation(self, op: str) -> Callable[..., Generator]:
         """A convenience callable: ``read = res.operation('read')`` then

@@ -219,6 +219,7 @@ class Serializer:
         self._queues: List[SerializerQueue] = []
         self._crowds: List[Crowd] = []
         self._timed_out: Set[int] = set()  # pids re-entering after a timeout
+        self._degraded = False  # priority queues serve FIFO when set
 
     # ------------------------------------------------------------------
     # Construction of sub-objects
@@ -325,6 +326,38 @@ class Serializer:
             self._dispatch()
 
     # ------------------------------------------------------------------
+    # Recovery hooks (lease reclamation / graceful degradation)
+    # ------------------------------------------------------------------
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation.  The serializer is already fault-containing
+        (possessor death releases, dead waiters and crowd members are
+        dequeued), so this is a defensive sweep plus a crowd check for the
+        supervisor's uniform reclaim pass."""
+        if self._possessor is proc:
+            self._on_possessor_death(proc)
+            return "released"
+        if proc in self._entry:
+            self._on_entry_death(proc)
+            return "dequeued"
+        if proc in self._rejoin:
+            self._on_rejoin_death(proc)
+            return "dequeued"
+        for crowd in self._crowds:
+            if proc in crowd._members:
+                self._on_crowd_death(crowd, proc)
+                return "left crowd {}".format(crowd.name)
+        return None
+
+    def degrade(self) -> Optional[str]:
+        """Graceful degradation: priority queues stop honouring ranks and
+        release waiters in arrival order.  Possession exclusion and
+        guarantee evaluation are untouched."""
+        if self._degraded:
+            return None
+        self._degraded = True
+        return "priority queues -> fifo"
+
+    # ------------------------------------------------------------------
     # Possession protocol
     # ------------------------------------------------------------------
     def enter(self, timeout: Optional[int] = None) -> Generator:
@@ -385,6 +418,8 @@ class Serializer:
         me = self._require_possession("enqueue({})".format(q.name))
         self._sched.log("wait", q.name)
         if isinstance(q, SerializerPriorityQueue):
+            if self._degraded:
+                priority = 0  # degraded mode: arrival order only
             q._push(me, guarantee, priority)
         else:
             q._push(me, guarantee)

@@ -61,6 +61,12 @@ from .runstore import (
     load_baseline,
     render_comparison,
 )
+from .recovery import (
+    RecoveryMetrics,
+    RecoverySpan,
+    compute_recovery_metrics,
+    recovery_spans,
+)
 from .sink import InstrumentationSink, MetricsSink, NullSink, RecordingSink
 from .spans import (
     Span,
@@ -117,4 +123,8 @@ __all__ = [
     "load_baseline",
     "dump_baseline",
     "render_comparison",
+    "RecoverySpan",
+    "RecoveryMetrics",
+    "recovery_spans",
+    "compute_recovery_metrics",
 ]

@@ -1,0 +1,213 @@
+"""Recovery observability: MTTR derived post-hoc from traces.
+
+The supervisor (:mod:`repro.recover`) logs ``restart`` events and the
+scheduler logs every death (``killed``/``failed``) and completion
+(``exit``), all stamped with the virtual clock.  That is enough to
+reconstruct, per corpse, the full recovery arc without instrumenting the
+recovery runtime itself:
+
+    death  --(ticks_to_restart)-->  restart  --...-->  exit
+      `------------------(ticks_to_recovery)------------'
+
+:func:`recovery_spans` folds a trace into one :class:`RecoverySpan` per
+death; :func:`compute_recovery_metrics` aggregates them into MTTR ("mean
+ticks to recovery" — virtual clock, hence deterministic for a given
+(policy, fault plan) pair), restart latency, and counts of the partial
+outcomes (giveups, escalations, degradations).  These are the numbers
+``bench_recovery`` fingerprints and ``python -m repro recover`` tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..core import ascii_table
+from ..runtime.trace import RunResult, Trace
+
+__all__ = [
+    "RecoverySpan",
+    "RecoveryMetrics",
+    "recovery_spans",
+    "compute_recovery_metrics",
+]
+
+
+@dataclass(frozen=True)
+class RecoverySpan:
+    """One death and (if any) the restart/completion that healed it."""
+
+    process: str
+    death_kind: str  # "killed" | "failed"
+    death_seq: int
+    death_tick: int
+    restart_seq: Optional[int] = None
+    restart_tick: Optional[int] = None
+    exit_seq: Optional[int] = None
+    exit_tick: Optional[int] = None
+
+    @property
+    def restarted(self) -> bool:
+        return self.restart_seq is not None
+
+    @property
+    def recovered(self) -> bool:
+        """The replacement incarnation ran to completion."""
+        return self.exit_seq is not None
+
+    @property
+    def ticks_to_restart(self) -> Optional[int]:
+        if self.restart_tick is None:
+            return None
+        return self.restart_tick - self.death_tick
+
+    @property
+    def ticks_to_recovery(self) -> Optional[int]:
+        """Death to the replacement's ``exit`` — one MTTR sample."""
+        if self.exit_tick is None:
+            return None
+        return self.exit_tick - self.death_tick
+
+    def describe(self) -> str:
+        if self.recovered:
+            return "{} {} at t={} recovered in {} tick(s)".format(
+                self.process, self.death_kind, self.death_tick,
+                self.ticks_to_recovery,
+            )
+        if self.restarted:
+            return "{} {} at t={} restarted, never completed".format(
+                self.process, self.death_kind, self.death_tick,
+            )
+        return "{} {} at t={} never restarted".format(
+            self.process, self.death_kind, self.death_tick,
+        )
+
+
+def _trace_of(run: Union[RunResult, Trace]) -> Trace:
+    return run.trace if isinstance(run, RunResult) else run
+
+
+def recovery_spans(run: Union[RunResult, Trace]) -> List[RecoverySpan]:
+    """Fold a trace into one span per death.
+
+    Events are matched by name in sequence order: each ``killed``/``failed``
+    opens a span, the next ``restart`` of that name closes its restart leg,
+    and the next ``exit`` after the restart closes the recovery leg.  A
+    second death of the same name (a killed replacement) opens a fresh
+    span, so restart storms yield one sample each.
+    """
+    trace = _trace_of(run)
+    open_by_name: Dict[str, dict] = {}
+    spans: List[RecoverySpan] = []
+
+    def _close(name: str) -> None:
+        pending = open_by_name.pop(name, None)
+        if pending is not None:
+            spans.append(RecoverySpan(**pending))
+
+    for ev in trace:
+        if ev.kind in ("killed", "failed"):
+            _close(ev.obj)
+            open_by_name[ev.obj] = dict(
+                process=ev.obj, death_kind=ev.kind,
+                death_seq=ev.seq, death_tick=ev.time,
+            )
+        elif ev.kind == "restart":
+            pending = open_by_name.get(ev.obj)
+            if pending is not None and pending.get("restart_seq") is None:
+                pending["restart_seq"] = ev.seq
+                pending["restart_tick"] = ev.time
+        elif ev.kind == "exit":
+            pending = open_by_name.get(ev.obj)
+            if pending is not None and pending.get("restart_seq") is not None:
+                pending["exit_seq"] = ev.seq
+                pending["exit_tick"] = ev.time
+                _close(ev.obj)
+    for name in sorted(open_by_name):
+        _close(name)
+    spans.sort(key=lambda s: s.death_seq)
+    return spans
+
+
+@dataclass
+class RecoveryMetrics:
+    """Aggregate recovery behaviour of one run."""
+
+    spans: List[RecoverySpan] = field(default_factory=list)
+    giveups: int = 0
+    escalations: int = 0
+    degradations: int = 0
+    reclaims: int = 0
+
+    @property
+    def deaths(self) -> int:
+        return len(self.spans)
+
+    @property
+    def restarts(self) -> int:
+        return sum(1 for s in self.spans if s.restarted)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for s in self.spans if s.recovered)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of deaths whose replacement ran to completion."""
+        if not self.spans:
+            return 1.0
+        return self.recoveries / float(self.deaths)
+
+    @property
+    def mttr(self) -> Optional[float]:
+        """Mean ticks-to-recovery over recovered spans (virtual clock)."""
+        samples = [
+            s.ticks_to_recovery for s in self.spans if s.recovered
+        ]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
+
+    @property
+    def max_ttr(self) -> Optional[int]:
+        samples = [
+            s.ticks_to_recovery for s in self.spans if s.recovered
+        ]
+        return max(samples) if samples else None
+
+    @property
+    def mean_ticks_to_restart(self) -> Optional[float]:
+        samples = [
+            s.ticks_to_restart for s in self.spans if s.restarted
+        ]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
+
+    def render(self) -> str:
+        rows = [[
+            str(self.deaths), str(self.restarts), str(self.recoveries),
+            "{:.2f}".format(self.recovery_rate),
+            "-" if self.mttr is None else "{:.2f}".format(self.mttr),
+            "-" if self.max_ttr is None else str(self.max_ttr),
+            str(self.reclaims), str(self.giveups), str(self.escalations),
+            str(self.degradations),
+        ]]
+        return ascii_table(
+            ["deaths", "restarts", "recoveries", "rate", "mttr",
+             "max ttr", "reclaims", "giveups", "escalations", "degradations"],
+            rows,
+            title="Recovery metrics (ticks = virtual clock)",
+        )
+
+
+def compute_recovery_metrics(run: Union[RunResult, Trace]) -> RecoveryMetrics:
+    """MTTR and partial-outcome counts for one run's trace."""
+    trace = _trace_of(run)
+    return RecoveryMetrics(
+        spans=recovery_spans(trace),
+        giveups=len(trace.filter(kind="restart_giveup")),
+        escalations=len(trace.filter(kind="escalate")),
+        degradations=len(trace.filter(kind="degrade")),
+        reclaims=len(trace.filter(kind="reclaim")),
+    )

@@ -1,0 +1,67 @@
+"""Graceful degradation: relax priority constraints, never exclusion.
+
+The paper's central split (§3–4) is between *exclusion constraints*
+(correctness — which executions may overlap) and *priority constraints*
+(scheduling — who is served first).  That split is exactly the degradation
+contract under repeated failure:
+
+* **exclusion is hard** — no recovery action may ever let two processes
+  into a critical region together; the chaos/recovery oracles keep checking
+  it across every restart boundary;
+* **priority is soft** — once crashes keep coming, priority-ordered service
+  (priority waits, priority queues, non-FIFO wake policies) may fall back
+  to plain arrival order.  FIFO needs no cross-crash bookkeeping, so it is
+  the ordering that survives an arbitrary crash history.
+
+A mechanism opts in by exposing ``degrade() -> Optional[str]``: relax any
+priority machinery it has and describe what changed (``None``/empty when it
+has nothing to relax — exclusion-only mechanisms like CCRs simply have no
+soft constraints).  The :class:`Degrader` counts crashes and flips every
+guarded mechanism once the threshold is crossed, logging a ``degrade``
+trace event per relaxation so the recovery classifier can tell a degraded
+run from a fully recovered one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+
+class Degrader:
+    """Crash counter that triggers priority relaxation past a threshold.
+
+    Args:
+        sched: owning scheduler (for trace logging).
+        threshold: number of crashes after which guarded mechanisms are
+            degraded (each mechanism at most once).
+    """
+
+    def __init__(self, sched, threshold: int = 2) -> None:
+        if threshold < 1:
+            raise ValueError("degradation threshold must be >= 1")
+        self._sched = sched
+        self.threshold = threshold
+        self.crashes = 0
+        self.degraded = False
+        self.relaxed: List[Tuple[str, str]] = []
+
+    def note_crash(self, mechanisms: Sequence[Any]) -> List[Tuple[str, str]]:
+        """Record one crash; once the threshold is reached, degrade every
+        mechanism in ``mechanisms`` that supports it.  Returns the
+        ``(label, what-was-relaxed)`` pairs of this call."""
+        self.crashes += 1
+        if self.degraded or self.crashes < self.threshold:
+            return []
+        self.degraded = True
+        relaxed: List[Tuple[str, str]] = []
+        for mech in mechanisms:
+            hook = getattr(mech, "degrade", None)
+            if hook is None:
+                continue
+            what = hook()
+            if what:
+                label = getattr(mech, "name", type(mech).__name__)
+                self._sched.log("degrade", label, what)
+                relaxed.append((label, what))
+        self.relaxed.extend(relaxed)
+        return relaxed

@@ -1,0 +1,125 @@
+"""Lease-based crash reclamation.
+
+Every hold the runtime tracks (``Scheduler.note_hold``) is treated as a
+*lease*: valid only while the holder is alive.  When a process dies, the
+:class:`LeaseManager` walks the mechanisms it guards and invokes their
+``crash_reclaim(proc)`` hook, which revokes whatever the corpse still held
+and repairs the mechanism so waiters unwedge:
+
+==================  ====================================================
+mechanism           reclamation action
+==================  ====================================================
+Semaphore           lost permits returned (granted to waiters or banked)
+Mutex               lock handed to the next waiter (robust semantics)
+Monitor             possession released, dead waiters dequeued
+Serializer          possession released, dead entries dequeued
+Path expressions    no-op: per-invocation cleanups already roll the
+                    counter network back / forward (self-recovering)
+CCR                 region released, dead waiters dequeued
+Channel             quarantine lifted: the *broken* flag is reset so the
+                    restarted peers can rendezvous again
+==================  ====================================================
+
+Most mechanisms are already fault-containing via their registered crash
+cleanups, so their hooks are defensive no-ops in the common path; the hooks
+exist so recovery is *uniform* — the supervisor reclaims through one
+interface regardless of mechanism, and the raw semaphore (the paper's one
+genuinely wedging primitive) is made whole the same way.
+
+Each reclamation is logged as a ``reclaim`` trace event, which is what the
+MTTR analysis in :mod:`repro.obs.recovery` and the recovery classifier in
+:mod:`repro.verify.chaos` read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..runtime.process import ProcessState, SimProcess
+from .degrade import Degrader
+
+
+@dataclass(frozen=True)
+class ReclaimAction:
+    """One successful reclamation: ``mechanism`` recovered something from
+    dead process ``process`` (``outcome`` says what)."""
+
+    mechanism: str
+    process: str
+    outcome: str
+
+    def describe(self) -> str:
+        return "{}: {} from {}".format(self.mechanism, self.outcome,
+                                       self.process)
+
+
+class LeaseManager:
+    """Registry of mechanisms whose holds are reclaimed on holder death.
+
+    Args:
+        sched: owning scheduler.
+        degrade_after: when set, after this many crashes every guarded
+            mechanism that supports it is degraded (priority constraints
+            relaxed to FIFO; exclusion untouched — see
+            :mod:`repro.recover.degrade`).
+    """
+
+    def __init__(self, sched, degrade_after: Optional[int] = None) -> None:
+        self._sched = sched
+        self._guarded: List[Any] = []
+        self.actions: List[ReclaimAction] = []
+        self._degrader = (
+            Degrader(sched, degrade_after) if degrade_after else None
+        )
+        self._counted: set = set()  # pids already counted as crashes
+
+    @property
+    def guarded(self) -> List[Any]:
+        """The mechanisms under lease management (registration order)."""
+        return list(self._guarded)
+
+    @property
+    def degraded(self) -> bool:
+        """True once the degradation threshold has been crossed."""
+        return self._degrader is not None and self._degrader.degraded
+
+    def guard(self, mechanism: Any) -> Any:
+        """Put ``mechanism`` under lease management; returns it, so
+        construction reads ``sem = leases.guard(Semaphore(...))``."""
+        if not hasattr(mechanism, "crash_reclaim"):
+            raise TypeError(
+                "{!r} has no crash_reclaim hook".format(mechanism)
+            )
+        self._guarded.append(mechanism)
+        return mechanism
+
+    def reclaim(self, proc: SimProcess) -> List[ReclaimAction]:
+        """Reclaim everything ``proc`` (dead) still holds across every
+        guarded mechanism.  Idempotent: hooks are no-ops when there is
+        nothing left to revoke."""
+        actions: List[ReclaimAction] = []
+        for mech in self._guarded:
+            outcome = mech.crash_reclaim(proc)
+            if not outcome:
+                continue
+            label = getattr(mech, "name", type(mech).__name__)
+            self._sched.log(
+                "reclaim", label,
+                "{}:{}".format(outcome, proc.name), proc=proc,
+            )
+            actions.append(ReclaimAction(label, proc.name, outcome))
+        if self._degrader is not None and proc.pid not in self._counted:
+            self._counted.add(proc.pid)
+            self._degrader.note_crash(self._guarded)
+        self.actions.extend(actions)
+        return actions
+
+    def sweep(self) -> List[ReclaimAction]:
+        """Reclaim from *every* dead process — standalone use (no
+        supervisor driving per-death reclamation)."""
+        actions: List[ReclaimAction] = []
+        for proc in self._sched.processes:
+            if proc.state is ProcessState.FAILED:
+                actions.extend(self.reclaim(proc))
+        return actions

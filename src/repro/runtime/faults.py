@@ -23,7 +23,9 @@ evaluation cares about instead of waiting for scheduling to produce them:
   as ``P1 -> mutex m -> P2 -> condition c -> P1``, and every dead process
   with the resources it took to its grave.
 
-* :func:`retrying` — bounded-retry helper around any timed blocking call.
+* :func:`retrying` — deprecated shim for
+  :func:`repro.recover.retry_with_backoff` (the bounded-retry helper now
+  lives with the recovery subsystem's backoff policies).
 
 Plans are deterministic and replayable: a (policy, plan) pair fully
 determines a run, which is what lets :mod:`repro.verify.chaos` enumerate
@@ -34,8 +36,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
-
-from .errors import WaitTimeout
 
 #: Event kinds that mean "the acting process just entered the named object".
 #: ``kill(P, on_entry=obj)`` triggers on any of these; the kill lands before
@@ -331,7 +331,7 @@ class WaitForGraph:
 
 
 # ----------------------------------------------------------------------
-# Bounded retry
+# Bounded retry (deprecated shim)
 # ----------------------------------------------------------------------
 def retrying(
     attempt: Callable[[int], Generator],
@@ -339,30 +339,27 @@ def retrying(
     backoff: Optional[Callable[[int], int]] = None,
     sched=None,
 ) -> Generator:
-    """Bounded retry around a timed blocking call.
+    """Deprecated alias of :func:`repro.recover.retry_with_backoff`.
 
-    ``attempt(i)`` must return a generator performing the timed operation
-    for try number ``i`` (0-based); a :class:`WaitTimeout` triggers the next
-    try.  ``backoff(i)`` ticks of virtual sleep (needs ``sched``) separate
-    tries.  Exhausting ``attempts`` re-raises the last timeout.
-
-    Example::
-
-        value = yield from retrying(
-            lambda i: chan.receive(timeout=5), attempts=3)
+    The retry helper moved into the recovery subsystem, which unifies it
+    with the deterministic :class:`~repro.recover.backoff.BackoffPolicy`
+    family the supervisor uses.  This shim keeps the old signature working
+    (``backoff`` may be a plain ``i -> ticks`` callable) and forwards.
     """
-    if attempts < 1:
-        raise ValueError("attempts must be >= 1")
-    last: Optional[WaitTimeout] = None
-    for i in range(attempts):
-        try:
-            result = yield from attempt(i)
-            return result
-        except WaitTimeout as exc:
-            last = exc
-            if backoff is not None and sched is not None and i + 1 < attempts:
-                yield from sched.sleep(backoff(i))
-    raise last
+    import warnings
+
+    warnings.warn(
+        "repro.runtime.retrying is deprecated; use "
+        "repro.recover.retry_with_backoff",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..recover.backoff import retry_with_backoff
+
+    result = yield from retry_with_backoff(
+        attempt, attempts=attempts, backoff=backoff, sched=sched
+    )
+    return result
 
 
 class _Failure:

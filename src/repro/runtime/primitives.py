@@ -238,6 +238,51 @@ class Semaphore:
         else:
             self._value += 1
 
+    # ------------------------------------------------------------------
+    # Recovery hooks (lease reclamation / graceful degradation)
+    # ------------------------------------------------------------------
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation: return every permit still attributed to the
+        dead ``proc``.  This is what makes a *raw* semaphore recoverable —
+        without ``crash_release`` a lost permit normally dies with its
+        holder; under lease management the supervisor revokes it and the
+        next waiter is granted (or the counter is restored)."""
+        count = self._sched.hold_count(self._label, proc)
+        if count == 0:
+            if self._discard_waiter_if(proc):
+                return "dequeued"
+            return None
+        for __ in range(count):
+            self._sched.note_release(self._label, proc=proc)
+            self._sched.log(
+                "sem_v", self.name,
+                "reclaim:{}".format(proc.name), proc=proc,
+            )
+            if self._waiters:
+                nxt = self._pick_waiter()
+                self._grant_to(nxt)
+                self._sched.unpark(nxt)
+            else:
+                self._value += 1
+        self._discard_waiter_if(proc)
+        return "released {} permit{}".format(count, "" if count == 1 else "s")
+
+    def _discard_waiter_if(self, proc: SimProcess) -> bool:
+        if proc in self._waiters:
+            self._discard_waiter(proc)
+            return True
+        return False
+
+    def degrade(self) -> Optional[str]:
+        """Graceful degradation: fall back to FIFO wakeup.  Arrival order
+        needs no cross-crash bookkeeping; permit exclusion (the counter) is
+        untouched."""
+        if self._wake_policy == "fifo":
+            return None
+        old = self._wake_policy
+        self._wake_policy = "fifo"
+        return "wake policy {} -> fifo".format(old)
+
 
 class Mutex:
     """A non-reentrant binary lock with holder tracking.
@@ -353,6 +398,18 @@ class Mutex:
         else:
             self._holder = None
             self._sched.log("release", self.name, "crash_release", proc=proc)
+
+    def crash_reclaim(self, proc: SimProcess) -> Optional[str]:
+        """Lease reclamation.  The mutex is already robust (its holder-death
+        cleanup hands the lock over), so this is a defensive sweep: release
+        if the corpse somehow still holds, dequeue it if it still waits."""
+        if self._holder is proc:
+            self._on_holder_death(proc)
+            return "released"
+        if proc in self._waiters:
+            self._discard_waiter(proc)
+            return "dequeued"
+        return None
 
 
 class BroadcastEvent:

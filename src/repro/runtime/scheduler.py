@@ -402,6 +402,12 @@ class Scheduler:
         processes)."""
         return [p.name for p in self._holds.get(resource, [])]
 
+    def hold_count(self, resource: str, proc: SimProcess) -> int:
+        """How many holds of ``resource`` are recorded for exactly ``proc``
+        (by identity, so a dead incarnation's holds stay attributable).
+        Lease reclamation uses this to revoke a corpse's holds."""
+        return sum(1 for h in self._holds.get(resource, []) if h is proc)
+
     # ------------------------------------------------------------------
     # Blocking services (used by primitives, via ``yield from``)
     # ------------------------------------------------------------------
@@ -598,6 +604,7 @@ class Scheduler:
         self,
         on_deadlock: str = "raise",
         on_error: str = "raise",
+        on_steplimit: str = "raise",
     ) -> RunResult:
         """Execute until every process finishes (or deadlock / step limit).
 
@@ -610,6 +617,12 @@ class Scheduler:
                 :class:`ProcessFailed`; ``"record"`` marks the process FAILED
                 and keeps going.  Either way the failed process's registered
                 crash cleanups run, so survivors keep their locks consistent.
+            on_steplimit: ``"raise"`` (default) raises
+                :class:`StepLimitExceeded` when the step budget runs out;
+                ``"return"`` ends the run with ``RunResult.step_limited=True``
+                and the ready-queue snapshot in ``RunResult.ready``, so the
+                chaos classifiers can tell a livelock (still runnable) from a
+                timer-churning wedge (nothing runnable).
 
         Returns:
             A :class:`RunResult` with the trace and per-process results.
@@ -621,6 +634,8 @@ class Scheduler:
             self.fault_plan.begin()
         steps = 0
         deadlocked = False
+        step_limited = False
+        ready_names: List[str] = []
         graph: Optional[WaitForGraph] = None
         # Exploration policies implement observe_state(scheduler) to capture
         # the canonical fingerprint at every decision point; plain policies
@@ -629,6 +644,10 @@ class Scheduler:
         try:
             while True:
                 if steps >= self.max_steps:
+                    if on_steplimit == "return":
+                        step_limited = True
+                        ready_names = [p.name for p in self._ready]
+                        break
                     raise StepLimitExceeded(
                         "exceeded {} scheduling steps".format(self.max_steps),
                         recent_events=self.trace[-DIAGNOSTIC_TAIL:],
@@ -714,6 +733,8 @@ class Scheduler:
             results=results,
             proc_steps={p.name: p.steps for p in self._processes},
             graph=graph,
+            step_limited=step_limited,
+            ready=ready_names,
         )
         if self._sink is not None:
             self._sink.on_run_end(result)
@@ -767,6 +788,7 @@ def run_processes(
     names: Optional[List[str]] = None,
     on_deadlock: str = "raise",
     on_error: str = "raise",
+    on_steplimit: str = "raise",
     max_steps: int = 500_000,
     preemptive: bool = False,
     fault_plan: Optional[FaultPlan] = None,
@@ -790,4 +812,6 @@ def run_processes(
     for i, body in enumerate(bodies):
         name = names[i] if names else None
         sched.spawn(body, name=name)
-    return sched.run(on_deadlock=on_deadlock, on_error=on_error)
+    return sched.run(
+        on_deadlock=on_deadlock, on_error=on_error, on_steplimit=on_steplimit
+    )

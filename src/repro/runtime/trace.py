@@ -269,6 +269,11 @@ class RunResult:
             chaos explorer to enumerate fault points.
         graph: the wait-for graph snapshot when the run ended deadlocked
             (``None`` otherwise).
+        step_limited: ``True`` when the run was cut off by the step budget
+            (only when ``on_steplimit='return'``).
+        ready: names of still-runnable processes at the cutoff — non-empty
+            means the system was making progress (livelock territory),
+            empty means nothing was runnable (a wedge behind timers).
     """
 
     trace: Trace
@@ -279,6 +284,8 @@ class RunResult:
     results: dict = field(default_factory=dict)
     proc_steps: dict = field(default_factory=dict)
     graph: Optional[object] = None
+    step_limited: bool = False
+    ready: List[str] = field(default_factory=list)
 
     def failed(self) -> List[str]:
         """Names of processes that died (killed or raised), recovered from

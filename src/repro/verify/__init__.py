@@ -20,6 +20,17 @@ from .chaos import (
     robustness_report,
 )
 from .explorer import ExplorationResult, ScheduleExplorer
+from .recovery import (
+    RecoveryOutcome,
+    RecoveryResult,
+    classify_recovery_run,
+    exclusion_oracle,
+    expected_recovery,
+    minimal_defeat_witness,
+    mttr_fingerprints,
+    recovery_explore,
+    recovery_report,
+)
 from .liveness import (
     Wait,
     WaitSummary,
@@ -54,6 +65,15 @@ __all__ = [
     "classify_run",
     "enumerate_fault_points",
     "robustness_report",
+    "RecoveryOutcome",
+    "RecoveryResult",
+    "classify_recovery_run",
+    "exclusion_oracle",
+    "expected_recovery",
+    "minimal_defeat_witness",
+    "mttr_fingerprints",
+    "recovery_explore",
+    "recovery_report",
     "Wait",
     "WaitSummary",
     "check_bounded_waiting",

@@ -18,11 +18,18 @@ mechanism under test did about it:
   (``RunResult.deadlocked``); the wait-for graph names the dead process
   holding what they wait for.  The classic example: a raw semaphore permit
   lost with its holder.
+* **step-limited** — the run hit the step budget while still runnable:
+  survivors were making progress but never finished inside the budget
+  (livelock territory).  A budget cutoff with *nothing* runnable is not
+  progress at all — it is a wedge churning behind timers, and classifies
+  as fault-deadlocking.
 
 :func:`robustness_report` runs one representative scenario per mechanism
 (all six of the paper's evaluation subjects plus the robust-semaphore
 variant) and renders the containment table shown by
-``python -m repro robustness``.
+``python -m repro robustness``.  The *recovery* layer
+(:mod:`repro.verify.recovery`) reuses this machinery with supervised
+scenarios and its own outcome labels (``recovered``/``degraded``/…).
 """
 
 from __future__ import annotations
@@ -31,20 +38,25 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..core import ascii_table
+from ..runtime.errors import StepLimitExceeded
 from ..runtime.faults import FaultPlan
 from ..runtime.policies import ScriptedPolicy
 from ..runtime.scheduler import Scheduler
-from ..runtime.trace import RunResult
+from ..runtime.trace import RunResult, Trace
 from ..explore.engine import ExplorationEngine
 
 #: A builder runs one *fresh* system under (policy, fault plan) and returns
-#: the result; it must use ``on_deadlock="return"`` / ``on_error="record"``.
+#: the result; it must use ``on_deadlock="return"`` / ``on_error="record"``
+#: (and ideally ``on_steplimit="return"`` — the explorer tolerates a raised
+#: :class:`StepLimitExceeded`, but the synthetic result it reconstructs
+#: carries only the diagnostic tail of the trace).
 ChaosBuilder = Callable[[ScriptedPolicy, Optional[FaultPlan]], RunResult]
 Checker = Callable[[RunResult], List[str]]
 
 CONTAINING = "fault-containing"
 PROPAGATING = "fault-propagating"
 DEADLOCKING = "fault-deadlocking"
+STEP_LIMITED = "step-limited"
 
 
 @dataclass(frozen=True)
@@ -68,6 +80,7 @@ class PointOutcome:
     contained: int = 0
     propagated: int = 0
     deadlocked: int = 0
+    step_limited: int = 0  # budget cutoffs while still runnable (livelock)
     violations: List[str] = field(default_factory=list)
 
 
@@ -96,6 +109,10 @@ class ChaosResult:
         return sum(o.deadlocked for o in self.outcomes)
 
     @property
+    def step_limited(self) -> int:
+        return sum(o.step_limited for o in self.outcomes)
+
+    @property
     def violations(self) -> List[str]:
         out: List[str] = []
         for o in self.outcomes:
@@ -105,11 +122,14 @@ class ChaosResult:
     @property
     def classification(self) -> str:
         """Worst observed behaviour, precedence deadlocking > propagating >
-        containing — one bad schedule is enough to earn the worse label."""
+        step-limited > containing — one bad schedule is enough to earn the
+        worse label."""
         if self.deadlocked:
             return DEADLOCKING
         if self.propagated or self.violations:
             return PROPAGATING
+        if self.step_limited:
+            return STEP_LIMITED
         return CONTAINING
 
 
@@ -120,7 +140,18 @@ def classify_run(
 
     ``"missed"`` means the kill never fired in this schedule (the victim
     finished first) — the run does not count toward the verdict.
+
+    A step-budget cutoff is *not* one label: with processes still runnable
+    the system was making progress (``step-limited``, livelock territory);
+    with nothing runnable it was churning timers behind a wedge, which is
+    indistinguishable from deadlock for every survivor and classifies as
+    such.  Checked first — a truncated run proves nothing about misses or
+    containment.
     """
+    if run.step_limited:
+        if not run.ready:
+            return DEADLOCKING, []
+        return STEP_LIMITED, []
     failures = run.failed()
     if victim not in failures:
         return "missed", []
@@ -175,7 +206,18 @@ def chaos_explore(
         outcome = PointOutcome(point=point)
 
         def run_one(policy: ScriptedPolicy) -> RunResult:
-            return build(policy, plan)
+            try:
+                return build(policy, plan)
+            except StepLimitExceeded as exc:
+                # Builder used on_steplimit="raise": reconstruct a result
+                # from the exception's diagnostics so the run still counts.
+                trace = Trace()
+                for ev in exc.recent_events or []:
+                    trace.append(ev)
+                return RunResult(
+                    trace=trace, step_limited=True,
+                    ready=list(exc.ready or []),
+                )
 
         def tally(run: RunResult) -> List[str]:
             outcome.runs += 1
@@ -187,6 +229,8 @@ def chaos_explore(
             elif label == PROPAGATING:
                 outcome.propagated += 1
                 outcome.violations.extend(messages)
+            elif label == STEP_LIMITED:
+                outcome.step_limited += 1
             else:
                 outcome.contained += 1
             return []  # classification is aggregated, not a "violation"
@@ -220,7 +264,8 @@ def _sem_scenario(crash_release: bool) -> ChaosBuilder:
 
         for i in range(3):
             sched.spawn(worker, name="P{}".format(i))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -240,7 +285,8 @@ def _mutex_scenario() -> ChaosBuilder:
 
         for i in range(3):
             sched.spawn(worker, name="P{}".format(i))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -260,7 +306,8 @@ def _monitor_scenario() -> ChaosBuilder:
 
         for i in range(3):
             sched.spawn(worker, name="P{}".format(i))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -285,7 +332,8 @@ def _serializer_scenario() -> ChaosBuilder:
 
         for i in range(3):
             sched.spawn(worker, name="P{}".format(i))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -308,7 +356,33 @@ def _pathexpr_scenario() -> ChaosBuilder:
 
         for i in range(3):
             sched.spawn(worker, name="P{}".format(i))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
+
+    return build
+
+
+def _ccr_scenario() -> ChaosBuilder:
+    from ..mechanisms.ccr import SharedRegion
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        cell = SharedRegion(sched, {"entries": 0}, name="v")
+
+        def worker():
+            # Unconditional region (guard None): pure mutual exclusion.  A
+            # guard over crash-corrupted shared state would re-introduce an
+            # application-level wedge no mechanism can contain.
+            yield from cell.enter()
+            cell.vars["entries"] += 1
+            sched.log("cs", "v")
+            yield from sched.checkpoint()
+            cell.leave()
+
+        for i in range(3):
+            sched.spawn(worker, name="P{}".format(i))
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -339,7 +413,8 @@ def _channel_scenario() -> ChaosBuilder:
         chan_a.link(sched.spawn(receiver(chan_a), name="P1"))
         chan_b.link(sched.spawn(sender(chan_b), name="P2"))
         chan_b.link(sched.spawn(receiver(chan_b), name="P3"))
-        return sched.run(on_deadlock="return", on_error="record")
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
 
     return build
 
@@ -368,6 +443,7 @@ SCENARIOS = [
     ("monitor", _monitor_scenario, "P0", _cs_exclusion_check, CONTAINING),
     ("serializer", _serializer_scenario, "P0", _cs_exclusion_check,
      CONTAINING),
+    ("ccr", _ccr_scenario, "P0", _cs_exclusion_check, CONTAINING),
     ("pathexpr", _pathexpr_scenario, "P0", _cs_exclusion_check, CONTAINING),
     ("channel", _channel_scenario, "P0", None, PROPAGATING),
 ]
@@ -402,11 +478,12 @@ def robustness_report(
             str(res.contained),
             str(res.propagated),
             str(res.deadlocked),
+            str(res.step_limited),
             res.classification,
         ])
     table = ascii_table(
         ["mechanism", "fault points", "runs", "contained", "propagated",
-         "deadlocked", "classification"],
+         "deadlocked", "step-limited", "classification"],
         rows,
         title="Fault containment by mechanism (one kill per point, "
               "schedules explored per point)",

@@ -1,0 +1,609 @@
+"""Recovery verification: supervised chaos scenarios and their oracles.
+
+The chaos layer (:mod:`repro.verify.chaos`) asks *what a mechanism does*
+when a participant dies: contain, propagate, or deadlock.  This module asks
+the follow-up question the recovery runtime (:mod:`repro.recover`) exists
+to answer: *can the system get back to a good state afterwards?*  Each
+scenario wraps one mechanism's workers in a :class:`~repro.recover.Supervisor`
+with a :class:`~repro.recover.LeaseManager` guarding the mechanism, then
+explores kill schedules exactly like the chaos explorer and classifies
+every run:
+
+* **recovered** — every process that died was restarted and its incarnation
+  ran to completion; no restart budget was exhausted and no degradation
+  was triggered.  The system healed completely.
+* **degraded** — the run completed without wedging or safety violations,
+  but recovery was partial: a restart budget ran out (``restart_giveup``),
+  the supervisor escalated, a degradation hook relaxed priority semantics
+  (``degrade``), or some corpse was never re-run to completion.
+* **wedged** — survivors blocked forever (deadlock), or the step budget ran
+  out with nothing runnable (a wedge churning behind timers).  Recovery
+  failed at liveness.
+* **violated** — a safety oracle fired (e.g. two processes inside one
+  critical region).  Recovery failed at safety — the worst outcome: a
+  reclaim or restart *forged* state instead of restoring it.
+* **missed** — no victim actually died in this schedule; the run does not
+  count toward the verdict.
+
+The safety oracle here must hold *across restart boundaries*:
+:func:`exclusion_oracle` checks interval overlap of ``cs``-enter/exit
+events (closing a dead owner's interval at its death event), because the
+chaos layer's entered-at-most-once check would misfire the moment a
+restarted incarnation legitimately re-enters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import ascii_table
+from ..recover import FixedBackoff, LeaseManager, RestartPolicy, Supervisor
+from ..runtime.faults import FaultPlan
+from ..runtime.policies import ScriptedPolicy
+from ..runtime.scheduler import Scheduler
+from ..runtime.trace import RunResult
+from .chaos import ChaosBuilder, Checker, FaultPoint, enumerate_fault_points
+from ..explore.engine import ExplorationEngine
+
+RECOVERED = "recovered"
+DEGRADED = "degraded"
+WEDGED = "wedged"
+VIOLATED = "violated"
+MISSED = "missed"
+
+#: Events whose presence means recovery was at best partial.
+_PARTIAL_KINDS = ("restart_giveup", "escalate", "degrade")
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+def exclusion_oracle(obj: str) -> Checker:
+    """A mutual-exclusion checker that survives restarts.
+
+    Workers bracket their critical region with ``log("cs", obj, "enter")``
+    / ``log("cs", obj, "exit")``.  The oracle scans the trace once keeping
+    the set of *open* intervals keyed by pid; a second concurrent open is a
+    violation.  A process that dies inside the region never logs its exit —
+    its ``killed``/``failed`` event closes the interval instead (the
+    corpse is no longer *in* the region; whether its possession was safely
+    reclaimed is exactly what the overlap check then verifies against the
+    next entrant).
+    """
+
+    def check(run: RunResult) -> List[str]:
+        open_by_pid: Dict[int, str] = {}
+        messages: List[str] = []
+        for ev in run.trace:
+            if ev.kind in ("killed", "failed"):
+                for pid in [
+                    pid for pid, name in open_by_pid.items()
+                    if pid == ev.pid or name == ev.obj
+                ]:
+                    del open_by_pid[pid]
+                continue
+            if ev.kind != "cs" or ev.obj != obj:
+                continue
+            if ev.detail == "enter":
+                if open_by_pid and ev.pid not in open_by_pid:
+                    inside = ", ".join(sorted(open_by_pid.values()))
+                    messages.append(
+                        "{} entered {} while {} inside".format(
+                            ev.pname, obj, inside
+                        )
+                    )
+                open_by_pid[ev.pid] = ev.pname
+            elif ev.detail == "exit":
+                open_by_pid.pop(ev.pid, None)
+        return messages
+
+    return check
+
+
+def classify_recovery_run(
+    run: RunResult,
+    victims: Sequence[str],
+    check: Optional[Checker] = None,
+) -> Tuple[str, List[str]]:
+    """Classify one supervised faulted run; returns (label, violations).
+
+    Precedence (worst first): violated > wedged > degraded > recovered —
+    a safety violation outranks everything because it means recovery
+    *forged* state rather than restoring it.
+    """
+    failures = run.failed()
+    if not any(v in failures for v in victims):
+        return MISSED, []
+    messages = list(check(run)) if check is not None else []
+    if messages:
+        return VIOLATED, messages
+    if run.deadlocked or (run.step_limited and not run.ready):
+        return WEDGED, []
+    if run.step_limited:
+        # Still runnable at the budget: nothing wedged, but the system
+        # never demonstrably healed — partial by definition.
+        return DEGRADED, []
+    for kind in _PARTIAL_KINDS:
+        if len(run.trace.filter(kind=kind)) > 0:
+            return DEGRADED, []
+    # Full recovery: every corpse's name later ran to completion.
+    for name in failures:
+        last_death = max(
+            ev.seq for ev in run.trace
+            if ev.kind in ("killed", "failed") and ev.obj == name
+        )
+        if not any(
+            ev.seq > last_death
+            for ev in run.trace.filter(kind="exit", obj=name)
+        ):
+            return DEGRADED, []
+    return RECOVERED, []
+
+
+# ----------------------------------------------------------------------
+# Exploration (chaos machinery, recovery classification)
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveryOutcome:
+    """Aggregate over every explored schedule with one fault injected."""
+
+    point: FaultPoint
+    runs: int = 0
+    missed: int = 0
+    recovered: int = 0
+    degraded: int = 0
+    wedged: int = 0
+    violated: int = 0
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of :func:`recovery_explore` for one supervised system."""
+
+    name: str
+    victim: str
+    outcomes: List[RecoveryOutcome] = field(default_factory=list)
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(o, attr) for o in self.outcomes)
+
+    @property
+    def runs(self) -> int:
+        return self._total("runs")
+
+    @property
+    def recovered(self) -> int:
+        return self._total("recovered")
+
+    @property
+    def degraded(self) -> int:
+        return self._total("degraded")
+
+    @property
+    def wedged(self) -> int:
+        return self._total("wedged")
+
+    @property
+    def violated(self) -> int:
+        return self._total("violated")
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for o in self.outcomes:
+            out.extend(o.violations)
+        return out
+
+    @property
+    def classification(self) -> str:
+        """Worst observed behaviour (violated > wedged > degraded >
+        recovered) — one bad schedule is enough to earn the worse label."""
+        if self.violated:
+            return VIOLATED
+        if self.wedged:
+            return WEDGED
+        if self.degraded:
+            return DEGRADED
+        return RECOVERED
+
+
+def recovery_explore(
+    name: str,
+    build: ChaosBuilder,
+    victim: str,
+    check: Optional[Checker] = None,
+    max_runs_per_point: int = 25,
+    max_depth: int = 60,
+    max_points: Optional[int] = None,
+) -> RecoveryResult:
+    """Inject a kill at every reachable fault point of ``victim`` and
+    explore schedules, classifying each run with
+    :func:`classify_recovery_run` (the supervised analogue of
+    :func:`~repro.verify.chaos.chaos_explore`)."""
+    points = enumerate_fault_points(build, victim)
+    if max_points is not None:
+        points = points[:max_points]
+    result = RecoveryResult(name=name, victim=victim)
+    for point in points:
+        plan = FaultPlan().kill(point.process, at_step=point.step)
+        outcome = RecoveryOutcome(point=point)
+
+        def run_one(policy: ScriptedPolicy) -> RunResult:
+            return build(policy, plan)
+
+        def tally(run: RunResult) -> List[str]:
+            outcome.runs += 1
+            label, messages = classify_recovery_run(run, (victim,), check)
+            if label == MISSED:
+                outcome.missed += 1
+            elif label == RECOVERED:
+                outcome.recovered += 1
+            elif label == DEGRADED:
+                outcome.degraded += 1
+            elif label == WEDGED:
+                outcome.wedged += 1
+            else:
+                outcome.violated += 1
+                outcome.violations.extend(messages)
+            return []
+
+        ExplorationEngine(
+            run_one, max_runs=max_runs_per_point, max_depth=max_depth,
+        ).explore(tally)
+        result.outcomes.append(outcome)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Supervised per-mechanism scenarios
+# ----------------------------------------------------------------------
+def _supervised(setup, degrade_after: Optional[int] = None,
+                max_restarts: int = 4) -> ChaosBuilder:
+    """Wrap a scenario ``setup(sched, leases, sup)`` (which guards its
+    mechanisms and declares children) in the standard supervised harness."""
+
+    def build(policy, plan):
+        sched = Scheduler(policy=policy, preemptive=True, fault_plan=plan)
+        leases = LeaseManager(sched, degrade_after=degrade_after)
+        sup = Supervisor(
+            sched,
+            RestartPolicy(max_restarts=max_restarts, backoff=FixedBackoff(1)),
+            name="sup",
+            leases=leases,
+        )
+        setup(sched, leases, sup)
+        sup.start()
+        return sched.run(on_deadlock="return", on_error="record",
+                         on_steplimit="return")
+
+    return build
+
+
+def _cs_worker(sched, obj, acquire, release):
+    """The standard supervised worker: acquire, bracket the critical
+    region with cs-enter/exit events, release."""
+
+    def worker():
+        yield from acquire()
+        sched.log("cs", obj, "enter")
+        yield from sched.checkpoint()
+        sched.log("cs", obj, "exit")
+        release_gen = release()
+        if release_gen is not None:
+            yield from release_gen
+
+    return worker
+
+
+def _sem_recovery(degrade_after: Optional[int] = None) -> ChaosBuilder:
+    """Raw semaphore (no crash_release): the mechanism that *needs* the
+    recovery runtime — lease reclamation revokes the corpse's permit."""
+    from ..runtime.primitives import Semaphore
+
+    def setup(sched, leases, sup):
+        # LIFO wake policy so degradation has a priority constraint to
+        # relax (the default is already the degraded target, FIFO).
+        sem = Semaphore(sched, initial=1, name="s", crash_release=False,
+                        wake_policy="lifo")
+        leases.guard(sem)
+
+        def worker():
+            yield from sem.p()
+            sched.log("cs", "s", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "s", "exit")
+            sem.v()
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup, degrade_after=degrade_after)
+
+
+def _mutex_recovery() -> ChaosBuilder:
+    from ..runtime.primitives import Mutex
+
+    def setup(sched, leases, sup):
+        lock = Mutex(sched, name="m")
+        leases.guard(lock)
+
+        def worker():
+            yield from lock.acquire()
+            sched.log("cs", "m", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "m", "exit")
+            lock.release()
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup)
+
+
+def _monitor_recovery() -> ChaosBuilder:
+    from ..mechanisms.monitor import Monitor
+
+    def setup(sched, leases, sup):
+        mon = Monitor(sched, name="mon")
+        leases.guard(mon)
+
+        def worker():
+            yield from mon.enter()
+            sched.log("cs", "mon", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "mon", "exit")
+            mon.exit()
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup)
+
+
+def _serializer_recovery() -> ChaosBuilder:
+    from ..mechanisms.serializer import Serializer
+
+    def setup(sched, leases, sup):
+        ser = Serializer(sched, name="ser")
+        leases.guard(ser)
+        q = ser.queue("q")
+        crowd = ser.crowd("c")
+
+        def worker():
+            yield from ser.enter()
+            yield from ser.enqueue(q, guarantee=lambda: crowd.empty)
+            yield from ser.join_crowd(crowd)
+            sched.log("cs", "ser", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "ser", "exit")
+            yield from ser.leave_crowd(crowd)
+            ser.exit()
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup)
+
+
+def _ccr_recovery() -> ChaosBuilder:
+    from ..mechanisms.ccr import SharedRegion
+
+    def setup(sched, leases, sup):
+        cell = SharedRegion(sched, {"entries": 0}, name="v")
+        leases.guard(cell)
+
+        def worker():
+            yield from cell.enter()
+            cell.vars["entries"] += 1
+            sched.log("cs", "v", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "v", "exit")
+            cell.leave()
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup)
+
+
+def _pathexpr_recovery() -> ChaosBuilder:
+    from ..mechanisms.pathexpr import PathResource
+
+    def setup(sched, leases, sup):
+        res = PathResource(sched, "path work end", name="r")
+        leases.guard(res)
+
+        def body(r):
+            sched.log("cs", "r.work", "enter")
+            yield from sched.checkpoint()
+            sched.log("cs", "r.work", "exit")
+
+        res.define("work", body)
+
+        def worker():
+            yield from res.invoke("work")
+
+        for i in range(3):
+            sup.child("P{}".format(i), worker)
+
+    return _supervised(setup)
+
+
+def _channel_recovery() -> ChaosBuilder:
+    """Supervised rendezvous pair.  A kill breaks the channel and fails the
+    partner with PeerFailed; lease reclamation lifts the quarantine and the
+    supervisor restarts the dead side(s).  One-for-one restart cannot heal a
+    rendezvous whose partner already exited, so both sides bound their wait
+    (``timeout=`` + :func:`~repro.recover.retry_with_backoff`) and abandon
+    the exchange after the retry budget — logged as a ``degrade`` event so
+    the run classifies *degraded*, the honest verdict for a dropped
+    message."""
+    from ..mechanisms.channels import Channel
+    from ..recover import retry_with_backoff
+    from ..runtime.errors import WaitTimeout
+
+    def setup(sched, leases, sup):
+        chan = Channel(sched, name="a")
+        leases.guard(chan)
+
+        def endpoint(op):
+            def body():
+                try:
+                    yield from retry_with_backoff(
+                        lambda __: op(timeout=4),
+                        attempts=2,
+                        backoff=FixedBackoff(1),
+                        sched=sched,
+                    )
+                except WaitTimeout:
+                    sched.log("degrade", "a", "rendezvous abandoned")
+                    return
+                sched.log("cs", "a", "enter")
+                sched.log("cs", "a", "exit")
+
+            return body
+
+        sup.child("P0", endpoint(lambda timeout: chan.send("msg",
+                                                           timeout=timeout)))
+        sup.child("P1", endpoint(lambda timeout: chan.receive(
+            timeout=timeout)))
+
+    return _supervised(setup, max_restarts=6)
+
+
+#: (row name, builder factory, victim, oracle key, acceptable labels)
+RECOVERY_SCENARIOS = [
+    ("semaphore", lambda: _sem_recovery(), "P0", "s",
+     (RECOVERED,)),
+    ("semaphore+degrade", lambda: _sem_recovery(degrade_after=1), "P0", "s",
+     (DEGRADED,)),
+    ("mutex", _mutex_recovery, "P0", "m", (RECOVERED,)),
+    ("monitor", _monitor_recovery, "P0", "mon", (RECOVERED,)),
+    ("serializer", _serializer_recovery, "P0", "ser", (RECOVERED,)),
+    ("ccr", _ccr_recovery, "P0", "v", (RECOVERED,)),
+    ("pathexpr", _pathexpr_recovery, "P0", "r.work", (RECOVERED,)),
+    ("channel", _channel_recovery, "P0", "a", (RECOVERED, DEGRADED)),
+]
+
+
+def expected_recovery() -> dict:
+    """Scenario name -> tuple of acceptable classifications (asserted by
+    the recovery regression tests and ``bench_recovery``)."""
+    return {name: labels for name, __, __, __, labels in RECOVERY_SCENARIOS}
+
+
+def mttr_fingerprints() -> Dict[str, dict]:
+    """Deterministic per-scenario recovery fingerprint.
+
+    One FIFO (``ScriptedPolicy([])``) run per scenario with a kill at the
+    victim's *last* fault point — the deepest coordinate, which for every
+    lock-shaped scenario lands inside the critical region, the interesting
+    place to die.  The fingerprint folds the run's trace through
+    :func:`repro.obs.recovery.compute_recovery_metrics`; because the clock
+    is virtual, every number (including MTTR) is exactly reproducible and
+    safe to assert in benchmarks.
+    """
+    from ..obs.recovery import compute_recovery_metrics
+
+    out: Dict[str, dict] = {}
+    for name, factory, victim, obj, __ in RECOVERY_SCENARIOS:
+        build = factory()
+        points = enumerate_fault_points(build, victim)
+        point = points[-1]
+        plan = FaultPlan().kill(point.process, at_step=point.step)
+        run = build(ScriptedPolicy([]), plan)
+        metrics = compute_recovery_metrics(run)
+        label, __ = classify_recovery_run(
+            run, (victim,), exclusion_oracle(obj)
+        )
+        out[name] = {
+            "kill": point.describe(),
+            "classification": label,
+            "deaths": metrics.deaths,
+            "restarts": metrics.restarts,
+            "recoveries": metrics.recoveries,
+            "recovery_rate": round(metrics.recovery_rate, 4),
+            "mttr": None if metrics.mttr is None else round(metrics.mttr, 4),
+            "max_ttr": metrics.max_ttr,
+            "reclaims": metrics.reclaims,
+            "giveups": metrics.giveups,
+            "escalations": metrics.escalations,
+            "degradations": metrics.degradations,
+        }
+    return out
+
+
+def minimal_defeat_witness(budget: int = 200, schedules_per_plan: int = 1):
+    """Search for a minimal crash set that defeats supervised-semaphore
+    recovery, ddmin-minimized (:func:`repro.recover.search_fault_plans`).
+
+    Recovery of the raw semaphore is *incomplete* in a precise sense: it
+    depends on the supervisor being alive to reclaim and restart.  Either
+    kill alone is harmless (the supervisor dying orphans nobody mid-region;
+    a worker dying gets reclaimed and restarted) — but killing the
+    supervisor *and then* a permit holder loses the permit with nobody left
+    to revoke it, and the survivors wedge.  The expected witness is
+    therefore exactly 2 faults.
+    """
+    from ..recover import search_fault_plans
+
+    build = _sem_recovery()
+    workers = ("P0", "P1", "P2")
+
+    def classify(run: RunResult) -> str:
+        label, __ = classify_recovery_run(
+            run, workers, exclusion_oracle("s")
+        )
+        return label
+
+    return search_fault_plans(
+        build,
+        classify,
+        victims=("sup",) + workers,
+        bad_labels=(WEDGED, VIOLATED),
+        max_kills=2,
+        budget=budget,
+        schedules_per_plan=schedules_per_plan,
+    )
+
+
+def recovery_report(fast: bool = False) -> Tuple[List[RecoveryResult], str]:
+    """Run every supervised recovery scenario; return (results, table).
+
+    ``fast`` trims the schedule budget per fault point (CI smoke tier);
+    the full sweep is what ``python -m repro recover`` shows.
+    """
+    budget = 6 if fast else 25
+    max_points = 4 if fast else None
+    results = []
+    for name, factory, victim, obj, __ in RECOVERY_SCENARIOS:
+        results.append(recovery_explore(
+            name,
+            factory(),
+            victim,
+            check=exclusion_oracle(obj),
+            max_runs_per_point=budget,
+            max_points=max_points,
+        ))
+    rows = []
+    for res in results:
+        rows.append([
+            res.name,
+            str(len(res.outcomes)),
+            str(res.runs),
+            str(res.recovered),
+            str(res.degraded),
+            str(res.wedged),
+            str(res.violated),
+            res.classification,
+        ])
+    table = ascii_table(
+        ["scenario", "fault points", "runs", "recovered", "degraded",
+         "wedged", "violated", "classification"],
+        rows,
+        title="Recovery under supervision (one kill per point, schedules "
+              "explored per point)",
+    )
+    return results, table

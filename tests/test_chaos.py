@@ -19,6 +19,7 @@ from repro.verify.chaos import (
     CONTAINING,
     DEADLOCKING,
     PROPAGATING,
+    STEP_LIMITED,
     ChaosResult,
     PointOutcome,
     FaultPoint,
@@ -241,3 +242,61 @@ def test_t6_alternation_survives_kills_monitor_fast():
 ])
 def test_t6_alternation_survives_kills_all_impls(impl_cls):
     _assert_alternation_under_kill(impl_cls, runs_per_point=40)
+
+
+class TestStepLimitClassification:
+    """Regression: a budget cutoff is not one label (satellite of the
+    recovery PR).  Still-runnable at the limit = step-limited (livelock
+    territory); nothing runnable = a wedge churning behind timers, which
+    classifies as fault-deadlocking."""
+
+    def test_step_limited_while_runnable_is_not_a_wedge(self):
+        # A real livelock: two spinners never finish inside the budget but
+        # are runnable the whole time.
+        plan = FaultPlan().kill("P0", at_step=1)
+        sched = Scheduler(fault_plan=plan, max_steps=30)
+
+        def spinner():
+            while True:
+                yield
+
+        sched.spawn(spinner, name="P0")
+        sched.spawn(spinner, name="P1")
+        run = sched.run(on_deadlock="return", on_error="record",
+                        on_steplimit="return")
+        assert run.step_limited
+        assert run.ready  # still making progress at the cutoff
+        label, messages = classify_run(run, "P0")
+        assert label == STEP_LIMITED
+        assert messages == []
+
+    def test_step_limited_with_nothing_runnable_is_deadlocking(self):
+        from repro.runtime.trace import RunResult, Trace
+
+        run = RunResult(trace=Trace(), step_limited=True, ready=[])
+        assert classify_run(run, "P0")[0] == DEADLOCKING
+
+    def test_step_limit_checked_before_missed(self):
+        # Even when the victim never died, a truncated run proves nothing:
+        # the cutoff label wins over "missed".
+        sched = Scheduler(max_steps=10)
+
+        def spinner():
+            while True:
+                yield
+
+        sched.spawn(spinner, name="P0")
+        run = sched.run(on_steplimit="return")
+        assert run.step_limited
+        assert classify_run(run, "P0")[0] == STEP_LIMITED
+
+    def test_outcome_counters_track_step_limited(self):
+        outcome = PointOutcome(point=FaultPoint("P0", 0))
+        assert outcome.step_limited == 0
+        result = ChaosResult(name="x", victim="P0", outcomes=[outcome])
+        outcome.step_limited += 1
+        assert result.step_limited == 1
+        assert result.classification == STEP_LIMITED
+        # Precedence: any deadlock outranks the step-limit label.
+        outcome.deadlocked += 1
+        assert result.classification == DEADLOCKING

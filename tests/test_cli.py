@@ -75,3 +75,64 @@ def test_pairs_command(capsys):
     assert code == 0
     assert "T1xT2" in out
     assert "monitor" in out
+
+
+def test_robustness_json_schema_golden(capsys):
+    # Golden schema lock: the robustness JSON is consumed by CI tooling,
+    # so key sets are asserted exactly — extending the schema must be a
+    # deliberate act (update this test), never an accident.
+    import json
+
+    code, out = run_cli(capsys, "robustness", "--fast", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"scenarios", "surprises"}
+    assert payload["surprises"] == []
+    assert [s["name"] for s in payload["scenarios"]] == [
+        "semaphore", "semaphore+crash_release", "mutex", "monitor",
+        "serializer", "ccr", "pathexpr", "channel",
+    ]
+    for scenario in payload["scenarios"]:
+        assert set(scenario) == {
+            "name", "victim", "runs", "contained", "propagated",
+            "deadlocked", "step_limited", "violations", "classification",
+            "expected",
+        }, scenario["name"]
+        assert scenario["victim"] == "P0"
+        assert scenario["runs"] > 0
+
+
+def test_recover_command(capsys):
+    code, out = run_cli(capsys, "recover", "--fast")
+    assert code == 0
+    assert "recovered" in out
+    assert "MTTR fingerprints" in out
+    assert "recovery contract" in out
+
+
+def test_recover_command_search(capsys):
+    code, out = run_cli(capsys, "recover", "--fast", "--search")
+    assert code == 0
+    assert "minimal crash set" in out
+    assert "kill sup" in out
+
+
+def test_recover_json_schema_golden(capsys):
+    import json
+
+    code, out = run_cli(capsys, "recover", "--fast", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"scenarios", "mttr", "surprises"}
+    assert payload["surprises"] == []
+    for scenario in payload["scenarios"]:
+        assert set(scenario) == {
+            "name", "victim", "runs", "recovered", "degraded", "wedged",
+            "violated", "violations", "classification", "expected",
+        }, scenario["name"]
+    assert set(payload["mttr"]) == {
+        "semaphore", "semaphore+degrade", "mutex", "monitor",
+        "serializer", "ccr", "pathexpr", "channel",
+    }
+    for name, fp in payload["mttr"].items():
+        assert fp["recovery_rate"] == 1.0, name

@@ -427,3 +427,73 @@ class TestWaitForGraph:
         assert result.deadlocked
         rendered = result.graph.render()
         assert "P1" in rendered and "P0" in rendered
+
+
+class TestWaitForGraphEdgeCases:
+    """Edge cases of the wait-for diagnosis (satellites of the recovery
+    PR): self-waits, waits on an already-crashed holder, and cycles that
+    survive pruning of a crashed node."""
+
+    def test_self_wait_is_a_cycle(self):
+        # A process P-ing a Semaphore(1) twice waits on the permit it
+        # itself holds: the graph must report the one-node cycle.
+        sched = Scheduler()
+        sem = Semaphore(sched, initial=1, name="s")
+
+        def greedy():
+            yield from sem.p()
+            yield from sem.p()  # waits on itself
+
+        sched.spawn(greedy, name="P")
+        with pytest.raises(DeadlockError) as info:
+            sched.run()
+        graph = info.value.graph
+        assert graph.waits["P"] == "semaphore s"
+        assert graph.holds["semaphore s"] == ["P"]
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert cycles[0][0] == "P"
+        assert "cycle: P -> semaphore s -> P" in graph.render()
+
+    def test_wait_on_already_crashed_holder(self):
+        # P1 parks on a permit whose holder is already dead: no cycle —
+        # the edge ends at a corpse, and the render says so.
+        plan = FaultPlan().kill("P0", at_step=2)
+        sched = Scheduler(fault_plan=plan, preemptive=True)
+        sem = Semaphore(sched, initial=1, name="s", crash_release=False)
+
+        def worker():
+            yield from sem.p()
+            yield from sched.checkpoint()
+            sem.v()
+
+        sched.spawn(worker, name="P0")
+        sched.spawn(worker, name="P1")
+        result = sched.run(on_deadlock="return", on_error="record")
+        assert result.deadlocked
+        graph = result.graph
+        assert graph.waits["P1"] == "semaphore s"
+        assert graph.edges_from("P1") == [("semaphore s", "P0")]
+        assert graph.dead == {"P0": ["semaphore s"]}
+        assert graph.cycles() == []  # a corpse closes no cycle
+        rendered = graph.render()
+        assert "P0[dead]" in rendered
+        assert "held: semaphore s" in rendered
+
+    def test_cycle_survives_crashed_node_pruning(self):
+        # A live two-process cycle must still be reported when an
+        # unrelated crashed node sits in the graph (the dead node is
+        # pruned from cycle traversal, not from the diagnosis).
+        from repro.runtime.faults import WaitForGraph
+
+        graph = WaitForGraph(
+            waits={"P1": "mutex a", "P2": "mutex b"},
+            holds={"mutex a": ["P2"], "mutex b": ["P1"]},
+            dead={"P0": ["semaphore s"]},
+        )
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"P1", "mutex a", "P2", "mutex b"}
+        rendered = graph.render()
+        assert "cycle:" in rendered
+        assert "dead:  P0 (held: semaphore s)" in rendered
