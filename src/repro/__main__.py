@@ -189,6 +189,54 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .verify.partition import partition_report
+
+    results, table = partition_report(fast=args.fast)
+    surprises = [s for r in results for s in r.surprises]
+    violations = [v for r in results for v in r.violations]
+    if args.json:
+        print(json.dumps({
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "runs": r.runs,
+                    "plans": [
+                        {
+                            "plan": o.plan_name,
+                            "faults": o.plan.describe(),
+                            "expected": o.expected,
+                            "runs": o.runs,
+                            "split_brain": o.split_brain,
+                            "wedged": o.wedged,
+                            "tolerant": o.tolerant,
+                            "violations": o.violations,
+                            "mttr_failover": o.mttr_failover,
+                            "mttr_post_heal": o.mttr_post_heal,
+                            "message_stats": o.message_stats,
+                            "classification": o.classification,
+                        }
+                        for o in r.outcomes
+                    ],
+                }
+                for r in results
+            ],
+            "surprises": surprises,
+            "violations": violations,
+        }, indent=2))
+        return 1 if (surprises or violations) else 0
+    print(table)
+    if violations:
+        print("\nSAFETY VIOLATIONS:", *violations, sep="\n  ")
+    if surprises:
+        print("\nUNEXPECTED:", *surprises, sep="\n  ")
+    if surprises or violations:
+        return 1
+    print("\nno split brain on any explored schedule; classifications "
+          "match the partition model (DESIGN.md §12)")
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     from .verify.recovery import (
         expected_recovery,
@@ -611,6 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_rob.set_defaults(func=_cmd_robustness)
+
+    p_part = sub.add_parser(
+        "partition",
+        help="partition-tolerance table: scenarios × network fault plans",
+    )
+    p_part.add_argument("--fast", action="store_true",
+                        help="trim the per-plan schedule budget")
+    p_part.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    p_part.set_defaults(func=_cmd_partition)
 
     p_rec = sub.add_parser(
         "recover",

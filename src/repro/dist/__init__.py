@@ -1,0 +1,23 @@
+"""Distributed resilience layer: message networks over channels.
+
+Builds a deterministic message-passing substrate on the channels
+mechanism — per-node mailboxes interposed by a :class:`NetPlan` (the
+message-level sibling of :class:`~repro.runtime.faults.FaultPlan`) — plus
+the protocol runtime (stamped messages, dedup, timeout/retry) and quorum
+leases that the partition-tolerant scenarios in
+:mod:`repro.problems.distributed` are written against.
+"""
+
+from .netplan import (DELAY, DELIVER, DROP, DUPLICATE, NetFault, NetPlan,
+                      PartitionRule, REORDER)
+from .network import NetChannel, Network
+from .protocol import Msg, Node
+from .quorum import ACQUIRE, DENY, GRANT, LeaseServer, QuorumLease, RELEASE
+
+__all__ = [
+    "DELIVER", "DROP", "DUPLICATE", "DELAY", "REORDER",
+    "NetFault", "NetPlan", "PartitionRule",
+    "Network", "NetChannel",
+    "Msg", "Node",
+    "LeaseServer", "QuorumLease", "ACQUIRE", "RELEASE", "GRANT", "DENY",
+]

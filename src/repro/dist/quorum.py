@@ -1,0 +1,186 @@
+"""Quorum leases: time-bounded exclusive grants over a server majority.
+
+This generalizes :mod:`repro.recover.leases` from "reclaim on observed
+crash" to the partitioned setting, where crash and partition are
+indistinguishable.  The mechanism:
+
+* Each :class:`LeaseServer` hands out at most one *grant* at a time, valid
+  until an expiry tick on the shared virtual clock.  A grant is only
+  reissued to a different client after the previous one has expired.
+* A :class:`QuorumLease` client holds the lease only while it has
+  unexpired grants from a **majority** of servers, and treats the earliest
+  of those expiries as its own validity horizon.
+
+Safety argument (see DESIGN.md §12): two clients both considering
+themselves holders at the same instant would each need a majority of
+unexpired grants; majorities intersect, so some server would have to have
+two unexpired grants outstanding at once — which the per-server rule
+forbids.  A holder cut off by a partition therefore simply *expires*: it
+cannot renew (no quorum reachable), stops treating the lease as valid at
+its horizon, and the majority side can re-acquire only after every grant
+the old holder might still trust has expired.  At no virtual-clock tick
+are there two valid holders, which is exactly what the
+``no-two-holders-across-partition`` oracle checks from the trace events
+emitted here (``lease_grant``/``lease_deny``/``lease_acquired``/
+``lease_expired``/``lease_released``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..recover.backoff import BackoffLike
+from .protocol import Msg, Node
+
+#: Message vocabulary.
+ACQUIRE = "lease.acquire"
+RELEASE = "lease.release"
+GRANT = "lease.grant"
+DENY = "lease.deny"
+
+
+class LeaseServer:
+    """The server half: one exclusive, expiring grant.
+
+    Embed in a server process's message loop::
+
+        handled = yield from server.handle(msg)
+
+    Retransmitted acquires are idempotent: the current holder asking again
+    is re-granted (renewal), anyone else is denied until the grant
+    expires.
+    """
+
+    def __init__(self, node: Node, duration: int = 20) -> None:
+        self.node = node
+        self.duration = duration
+        self.holder: Optional[str] = None
+        self.expiry = 0
+
+    @property
+    def _now(self) -> int:
+        return self.node.sched.now
+
+    def _expired(self) -> bool:
+        return self.holder is None or self._now >= self.expiry
+
+    def handle(self, msg: Msg) -> Generator:
+        """Process one message if it is lease traffic.  Returns ``True``
+        when consumed, ``False`` when the caller should handle it."""
+        if msg.kind == ACQUIRE:
+            if self._expired() or msg.src == self.holder:
+                self.holder = msg.src
+                self.expiry = self._now + int(msg.payload or self.duration)
+                self.node.sched.log(
+                    "lease_grant", self.node.id,
+                    {"holder": self.holder, "until": self.expiry})
+                yield from self.node.reply(msg, GRANT, payload=self.expiry)
+            else:
+                self.node.sched.log(
+                    "lease_deny", self.node.id,
+                    {"to": msg.src, "holder": self.holder,
+                     "until": self.expiry})
+                yield from self.node.reply(msg, DENY, payload=self.expiry)
+            return True
+        if msg.kind == RELEASE:
+            if msg.src == self.holder:
+                self.holder = None
+                self.expiry = 0
+            return True
+        return False
+
+
+class QuorumLease:
+    """The client half: acquire grants from a majority of ``servers``.
+
+    Args:
+        node: the protocol participant doing the acquiring.
+        servers: lease-server node names (majority = ``len//2 + 1``).
+        duration: requested grant length in virtual ticks.
+        timeout / attempts / backoff: per-server request policy, passed to
+            :meth:`Node.request`.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        servers: Sequence[str],
+        duration: int = 20,
+        timeout: int = 8,
+        attempts: int = 2,
+        backoff: BackoffLike = None,
+    ) -> None:
+        self.node = node
+        self.servers = list(servers)
+        self.duration = duration
+        self.timeout = timeout
+        self.attempts = attempts
+        self.backoff = backoff
+        self.expires_at: Optional[int] = None
+        self._granted: List[str] = []
+        self._expiry_logged = False
+
+    @property
+    def majority(self) -> int:
+        return len(self.servers) // 2 + 1
+
+    @property
+    def valid(self) -> bool:
+        """True while the client may treat itself as the holder: a
+        majority was granted and the earliest grant has not expired."""
+        if self.expires_at is None:
+            return False
+        if self.node.sched.now < self.expires_at:
+            return True
+        if not self._expiry_logged:
+            self._expiry_logged = True
+            self.node.sched.log(
+                "lease_expired", self.node.id,
+                {"at": self.node.sched.now, "horizon": self.expires_at})
+        return False
+
+    def acquire(self) -> Generator:
+        """One acquisition round.  Returns ``True`` on majority success
+        (``lease_acquired`` logged with the validity horizon), ``False``
+        otherwise (``lease_rejected`` logged; any minority grants are
+        released so they age out no slower than they would anyway)."""
+        grants: List[int] = []
+        granted: List[str] = []
+        for srv in self.servers:
+            reply = yield from self.node.try_request(
+                srv, ACQUIRE, payload=self.duration,
+                timeout=self.timeout, attempts=self.attempts,
+                backoff=self.backoff)
+            if reply is not None and reply.kind == GRANT:
+                grants.append(int(reply.payload))
+                granted.append(srv)
+        if len(grants) >= self.majority:
+            self.expires_at = min(grants)
+            self._granted = granted
+            self._expiry_logged = False
+            self.node.sched.log(
+                "lease_acquired", self.node.id,
+                {"grants": len(grants), "of": len(self.servers),
+                 "until": self.expires_at})
+            return True
+        self.node.sched.log(
+            "lease_rejected", self.node.id,
+            {"grants": len(grants), "of": len(self.servers),
+             "need": self.majority})
+        yield from self._release_servers(granted)
+        return False
+
+    def release(self) -> Generator:
+        """Give the lease up early.  Best-effort fire-and-forget: a lost
+        release just means the grant ages out at its expiry."""
+        if self.expires_at is not None:
+            self.node.sched.log(
+                "lease_released", self.node.id,
+                {"at": self.node.sched.now})
+        self.expires_at = None
+        granted, self._granted = self._granted, []
+        yield from self._release_servers(granted)
+
+    def _release_servers(self, granted: List[str]) -> Generator:
+        for srv in granted:
+            yield from self.node.send(srv, RELEASE)

@@ -22,6 +22,7 @@ from .detectors import (
     WAKE_KINDS,
     ConflictingAccessChecker,
     LostWakeupChecker,
+    SplitBrainChecker,
     compose_checkers,
 )
 from .engine import (
@@ -39,6 +40,7 @@ __all__ = [
     "WAKE_KINDS",
     "ConflictingAccessChecker",
     "LostWakeupChecker",
+    "SplitBrainChecker",
     "compose_checkers",
     "ExplorationEngine",
     "ExplorationResult",

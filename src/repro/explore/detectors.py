@@ -85,6 +85,33 @@ class ConflictingAccessChecker:
         )
 
 
+class SplitBrainChecker:
+    """Distributed-safety detector: flags runs where the dist layer's
+    exclusivity invariants broke — two overlapping quorum-lease holders
+    (``no-two-holders-across-partition``) or two ``leader_elected`` events
+    in one term (``at-most-one-leader-per-term``).
+
+    A thin composition of the partition oracles
+    (:mod:`repro.verify.partition`) into the checker protocol, so split
+    brain plugs into :class:`~repro.explore.engine.ExplorationEngine` and
+    :func:`~repro.verify.chaos.chaos_explore` like any other detector.
+    Runs without dist-layer events trivially pass.
+    """
+
+    def __call__(self, run: RunResult) -> List[str]:
+        from ..verify.partition import (check_at_most_one_leader,
+                                        check_lease_exclusion)
+
+        return [
+            "split brain: " + message
+            for message in (check_lease_exclusion(run)
+                            + check_at_most_one_leader(run))
+        ]
+
+    def __repr__(self) -> str:
+        return "SplitBrainChecker()"
+
+
 class LostWakeupChecker:
     """Flags processes parked forever whose block the wait-for graph cannot
     explain — the missed-signal signature.

@@ -307,6 +307,20 @@ class Channel:
             self._buffer.append(offer.value)
             self._claim(offer)
 
+    def _deposit(self, value: Any) -> None:
+        """Non-blocking delivery, bypassing the capacity limit: hand
+        ``value`` to the oldest parked receiver, or append it to the
+        buffer.  Used by the dist network layer, which owns its own
+        delivery discipline (drops, delays, duplicates) and models the
+        mailbox as unbounded."""
+        self._check_broken()
+        self._discard_dead()
+        match = self._first_claimable(self._receivers)
+        if match is not None:
+            self._claim(match, deliver=value)
+        else:
+            self._buffer.append(value)
+
     def _claim(self, offer: _Offer, deliver: Any = None) -> None:
         """Complete a rendezvous with a parked counterpart."""
         if offer in self._senders:

@@ -62,9 +62,13 @@ from .runstore import (
     render_comparison,
 )
 from .recovery import (
+    PartitionRecoveryMetrics,
+    PartitionRecoverySpan,
     RecoveryMetrics,
     RecoverySpan,
+    compute_partition_mttr,
     compute_recovery_metrics,
+    partition_recovery_spans,
     recovery_spans,
 )
 from .sink import InstrumentationSink, MetricsSink, NullSink, RecordingSink
@@ -127,4 +131,8 @@ __all__ = [
     "RecoveryMetrics",
     "recovery_spans",
     "compute_recovery_metrics",
+    "PartitionRecoverySpan",
+    "PartitionRecoveryMetrics",
+    "partition_recovery_spans",
+    "compute_partition_mttr",
 ]

@@ -30,6 +30,10 @@ __all__ = [
     "RecoveryMetrics",
     "recovery_spans",
     "compute_recovery_metrics",
+    "PartitionRecoverySpan",
+    "PartitionRecoveryMetrics",
+    "partition_recovery_spans",
+    "compute_partition_mttr",
 ]
 
 
@@ -211,3 +215,161 @@ def compute_recovery_metrics(run: Union[RunResult, Trace]) -> RecoveryMetrics:
         degradations=len(trace.filter(kind="degrade")),
         reclaims=len(trace.filter(kind="reclaim")),
     )
+
+
+# ----------------------------------------------------------------------
+# Partition recovery (the dist layer's MTTR)
+# ----------------------------------------------------------------------
+
+#: Event kinds that mean "service resumed / reconverged": a new leader took
+#: over, the lock/lease found a (possibly new) holder, or a stale leader
+#: yielded to the higher term it finally heard (the post-heal signature when
+#: the majority side's leader simply persists).
+PARTITION_RECOVERY_KINDS = ("leader_elected", "lease_acquired",
+                            "leader_stepdown")
+
+
+@dataclass(frozen=True)
+class PartitionRecoverySpan:
+    """One scripted partition and the service-resumption events around it.
+
+    Two distinct recovery legs, both on the virtual clock:
+
+    * **failover** — partition start to the first resumption event after
+      it (the majority side electing/acquiring *during* the outage);
+    * **post-heal** — heal to the first resumption event after it (the
+      whole cluster reconverging).
+    """
+
+    partition: str               # PartitionRule.describe()
+    start_tick: int
+    heal_tick: Optional[int] = None
+    failover_kind: Optional[str] = None
+    failover_by: Optional[str] = None
+    failover_tick: Optional[int] = None
+    post_heal_kind: Optional[str] = None
+    post_heal_by: Optional[str] = None
+    post_heal_tick: Optional[int] = None
+
+    @property
+    def healed(self) -> bool:
+        return self.heal_tick is not None
+
+    @property
+    def ticks_to_failover(self) -> Optional[int]:
+        if self.failover_tick is None:
+            return None
+        return self.failover_tick - self.start_tick
+
+    @property
+    def ticks_to_post_heal(self) -> Optional[int]:
+        if self.heal_tick is None or self.post_heal_tick is None:
+            return None
+        return self.post_heal_tick - self.heal_tick
+
+    def describe(self) -> str:
+        bits = [self.partition]
+        if self.failover_tick is not None:
+            bits.append("failover in {} tick(s) ({} by {})".format(
+                self.ticks_to_failover, self.failover_kind,
+                self.failover_by))
+        else:
+            bits.append("no failover")
+        if self.healed:
+            if self.post_heal_tick is not None:
+                bits.append("post-heal recovery in {} tick(s)".format(
+                    self.ticks_to_post_heal))
+            else:
+                bits.append("no post-heal recovery")
+        return "; ".join(bits)
+
+
+def partition_recovery_spans(
+    run: Union[RunResult, Trace],
+    recovery_kinds: tuple = PARTITION_RECOVERY_KINDS,
+) -> List[PartitionRecoverySpan]:
+    """One span per ``net_partition`` event, matched to its ``net_heal``
+    (same rule description) and to the first ``recovery_kinds`` event after
+    each leg's start."""
+    trace = _trace_of(run)
+    spans: List[PartitionRecoverySpan] = []
+    heals = list(trace.filter(kind="net_heal"))
+    for start in trace.filter(kind="net_partition"):
+        heal = next(
+            (h for h in heals
+             if h.detail == start.detail and h.seq > start.seq), None)
+        failover = next(
+            (ev for ev in trace
+             if ev.kind in recovery_kinds and ev.seq > start.seq), None)
+        post_heal = None
+        if heal is not None:
+            post_heal = next(
+                (ev for ev in trace
+                 if ev.kind in recovery_kinds and ev.seq > heal.seq), None)
+        spans.append(PartitionRecoverySpan(
+            partition=str(start.detail),
+            start_tick=start.time,
+            heal_tick=None if heal is None else heal.time,
+            failover_kind=None if failover is None else failover.kind,
+            failover_by=None if failover is None else failover.obj,
+            failover_tick=None if failover is None else failover.time,
+            post_heal_kind=None if post_heal is None else post_heal.kind,
+            post_heal_by=None if post_heal is None else post_heal.obj,
+            post_heal_tick=None if post_heal is None else post_heal.time,
+        ))
+    return spans
+
+
+@dataclass
+class PartitionRecoveryMetrics:
+    """Aggregate partition-recovery behaviour of one run."""
+
+    spans: List[PartitionRecoverySpan] = field(default_factory=list)
+
+    @property
+    def partitions(self) -> int:
+        return len(self.spans)
+
+    @property
+    def mttr_failover(self) -> Optional[float]:
+        samples = [s.ticks_to_failover for s in self.spans
+                   if s.ticks_to_failover is not None]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
+
+    @property
+    def mttr_post_heal(self) -> Optional[float]:
+        samples = [s.ticks_to_post_heal for s in self.spans
+                   if s.ticks_to_post_heal is not None]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
+
+    def render(self) -> str:
+        rows = [[
+            s.partition,
+            str(s.start_tick),
+            "-" if s.heal_tick is None else str(s.heal_tick),
+            ("-" if s.ticks_to_failover is None
+             else "{} ({} by {})".format(s.ticks_to_failover,
+                                         s.failover_kind, s.failover_by)),
+            ("-" if s.ticks_to_post_heal is None
+             else "{} ({} by {})".format(s.ticks_to_post_heal,
+                                         s.post_heal_kind, s.post_heal_by)),
+        ] for s in self.spans]
+        return ascii_table(
+            ["partition", "at", "heal", "failover (ticks)",
+             "post-heal (ticks)"],
+            rows,
+            title="Partition recovery (ticks = virtual clock)",
+        )
+
+
+def compute_partition_mttr(
+    run: Union[RunResult, Trace],
+    recovery_kinds: tuple = PARTITION_RECOVERY_KINDS,
+) -> PartitionRecoveryMetrics:
+    """Failover and post-heal MTTR from one run's trace."""
+    return PartitionRecoveryMetrics(
+        spans=partition_recovery_spans(run, recovery_kinds))

@@ -76,8 +76,10 @@ class Fault:
                 where = "at time {}".format(self.at_time)
             return "kill {} {}".format(self.process, where)
         if self.action == "delay":
-            return "delay wakeups of {} by {}".format(self.process, self.ticks)
-        return "drop signal #{} on {}".format(self.nth, self.obj)
+            return "delay wakeups of {} by {} ticks".format(
+                self.process, self.ticks)
+        return "drop signal #{} on {}".format(
+            self.nth, "any object" if self.obj == "*" else self.obj)
 
 
 class FaultPlan:
@@ -98,7 +100,7 @@ class FaultPlan:
     def __init__(self) -> None:
         self.faults: List[Fault] = []
         self._doomed: List[str] = []
-        self._drop_counts: Dict[str, int] = {}
+        self._drop_counts: Dict[int, int] = {}  # fault index -> signals seen
 
     # ------------------------------------------------------------------
     # Builders
@@ -134,7 +136,11 @@ class FaultPlan:
         return self
 
     def drop_signal(self, obj: str, nth: int = 1) -> "FaultPlan":
-        """Make the ``nth`` V/signal on object ``obj`` vanish (1-based)."""
+        """Make the ``nth`` V/signal on object ``obj`` vanish (1-based).
+
+        ``obj="*"`` counts every V/signal regardless of object — the nth
+        wakeup *anywhere* vanishes.  Each fault keeps its own counter, so
+        a wildcard and an exact entry never interfere."""
         if nth < 1:
             raise ValueError("nth is 1-based")
         self.faults.append(Fault("drop", obj=obj, nth=nth))
@@ -200,18 +206,22 @@ class FaultPlan:
         return total
 
     def should_drop(self, obj: str) -> bool:
-        """Consulted by V/signal sites: True when this signal must vanish."""
-        relevant = [f for f in self.faults
-                    if f.action == "drop" and f.obj == obj]
-        if not relevant:
-            return False
-        count = self._drop_counts.get(obj, 0) + 1
-        self._drop_counts[obj] = count
-        for f in relevant:
+        """Consulted by V/signal sites: True when this signal must vanish.
+
+        Counters are per-fault (keyed by the fault's position in the
+        plan): every drop entry matching ``obj`` — exactly or via the
+        ``"*"`` wildcard — advances its own count, and the signal vanishes
+        if any unfired entry just reached its ``nth``."""
+        drop = False
+        for idx, f in enumerate(self.faults):
+            if f.action != "drop" or f.obj not in (obj, "*"):
+                continue
+            count = self._drop_counts.get(idx, 0) + 1
+            self._drop_counts[idx] = count
             if not f.fired and f.nth == count:
                 f.fired = True
-                return True
-        return False
+                drop = True
+        return drop
 
     def describe(self) -> List[str]:
         """Human-readable rendering of every scripted fault."""

@@ -1,0 +1,445 @@
+"""Partition oracles and the partition-tolerance report.
+
+Safety oracles over the dist layer's trace vocabulary:
+
+* :func:`check_lease_exclusion` — **no-two-holders-across-partition**: the
+  validity intervals reconstructed from ``lease_acquired`` /
+  ``lease_released`` / horizon ticks never overlap across holders, no
+  matter what the network did.
+* :func:`check_at_most_one_leader` — **at-most-one-leader-per-term**: no
+  term carries two ``leader_elected`` events from different nodes.
+* :func:`check_mutex_intervals` — classic mutual exclusion over
+  ``cs_enter``/``cs_exit`` pairs in trace order (for scenarios without a
+  fencing horizon, e.g. Lamport mutex).
+* :func:`check_progress_after_heal` — the liveness half: once every
+  scripted partition healed, some resumption event must follow.
+
+:func:`partition_report` composes them with the exploration engine: every
+scenario × :class:`~repro.dist.netplan.NetPlan` schedule is explored over
+interleavings, each run classified as **split-brain** (safety violated),
+**wedged** (safe but stuck: deadlocked, step-limited, or no post-heal
+progress), or **partition-tolerant** — precedence in that order, one bad
+schedule is enough.  The expected table mirrors
+:mod:`repro.verify.chaos`: Lamport mutex *wedges* under an unhealed
+partition (safe but not live — the textbook trade), while the quorum
+scenarios stay tolerant because a majority side keeps the service up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import ascii_table
+from ..dist import NetPlan
+from ..runtime.errors import StepLimitExceeded
+from ..runtime.faults import FaultPlan
+from ..runtime.policies import ScriptedPolicy
+from ..runtime.trace import RunResult, Trace
+from ..explore.engine import ExplorationEngine
+from ..problems.distributed import (ELECTION_NODES, LAMPORT_NODES,
+                                    LOCK_CLIENTS, build_lamport_mutex,
+                                    build_leader_election, build_quorum_lock)
+
+#: A dist builder: fresh system under (policy, netplan, fault plan).
+DistBuilder = Callable[
+    [ScriptedPolicy, Optional[NetPlan], Optional[FaultPlan]], RunResult]
+Checker = Callable[[RunResult], List[str]]
+
+SPLIT_BRAIN = "split-brain"
+WEDGED = "wedged"
+TOLERANT = "partition-tolerant"
+
+
+# ----------------------------------------------------------------------
+# Safety oracles
+# ----------------------------------------------------------------------
+def _lease_intervals(trace: Trace) -> List[Tuple[int, int, str]]:
+    """Holder validity intervals ``[start, end)`` from the lease events:
+    start at ``lease_acquired``, end at the earlier of the validity
+    horizon and an explicit ``lease_released``."""
+    intervals: List[Tuple[int, int, str]] = []
+    events = [ev for ev in trace
+              if ev.kind in ("lease_acquired", "lease_released")]
+    open_by_holder: Dict[str, Tuple[int, int]] = {}
+
+    def close(holder: str, upto: Optional[int] = None) -> None:
+        start, horizon = open_by_holder.pop(holder)
+        end = horizon if upto is None else min(upto, horizon)
+        intervals.append((start, end, holder))
+
+    for ev in events:
+        if ev.kind == "lease_acquired":
+            if ev.obj in open_by_holder:
+                close(ev.obj)          # re-acquire extends as a new interval
+            open_by_holder[ev.obj] = (ev.time, int(ev.detail["until"]))
+        else:
+            if ev.obj in open_by_holder:
+                close(ev.obj, upto=ev.time)
+    for holder in sorted(open_by_holder):
+        close(holder)
+    return sorted(intervals)
+
+
+def check_lease_exclusion(run: RunResult) -> List[str]:
+    """No two holders' validity intervals may overlap — at every virtual
+    tick at most one client may believe it holds the quorum lease."""
+    intervals = _lease_intervals(run.trace)
+    messages: List[str] = []
+    for (s1, e1, h1), (s2, e2, h2) in zip(intervals, intervals[1:]):
+        if h1 != h2 and s2 < e1:
+            messages.append(
+                "two lease holders at once: {} valid [{}, {}) and {} "
+                "valid [{}, {})".format(h1, s1, e1, h2, s2, e2))
+    return messages
+
+
+def check_at_most_one_leader(run: RunResult) -> List[str]:
+    """No term may crown two leaders."""
+    by_term: Dict[int, List[str]] = {}
+    for ev in run.trace.filter(kind="leader_elected"):
+        term = int(ev.detail["term"])
+        nodes = by_term.setdefault(term, [])
+        if ev.obj not in nodes:
+            nodes.append(ev.obj)
+    return [
+        "term {} has {} leaders: {}".format(term, len(nodes),
+                                            ", ".join(nodes))
+        for term, nodes in sorted(by_term.items()) if len(nodes) > 1
+    ]
+
+
+def check_mutex_intervals(run: RunResult) -> List[str]:
+    """Classic mutual exclusion: between a ``cs_enter`` and its matching
+    ``cs_exit``/``cs_abort`` (same obj), no other obj may enter."""
+    messages: List[str] = []
+    inside: Optional[str] = None
+    since: int = 0
+    for ev in run.trace.filter(kind="cs_enter|cs_exit|cs_abort"):
+        if ev.kind == "cs_enter":
+            if inside is not None and inside != ev.obj:
+                messages.append(
+                    "mutual exclusion violated: {} entered at seq {} "
+                    "while {} was inside (since seq {})".format(
+                        ev.obj, ev.seq, inside, since))
+            else:
+                inside, since = ev.obj, ev.seq
+        elif inside == ev.obj:
+            inside = None
+    return messages
+
+
+def make_progress_after_heal(
+    plan: NetPlan,
+    progress_kinds: Tuple[str, ...] = ("cs_exit", "leader_elected",
+                                       "lease_acquired"),
+) -> Checker:
+    """Liveness oracle bound to one plan: after the *last* heal tick, some
+    ``progress_kinds`` event must occur — the evidence that the side cut
+    off by the partition reintegrated.  Pass the kinds that constitute
+    recovery for the scenario at hand (a stranded client re-acquiring, a
+    stale leader stepping down, a blocked requester finally finishing);
+    an empty tuple disables the oracle.  Plans with no healing partition
+    never fire (an unhealed partition is allowed to wedge — that is the
+    classification's job to report, not a safety bug)."""
+    heal_ticks = [p.heal_at for p in plan.partitions
+                  if p.heal_at is not None]
+
+    def check(run: RunResult) -> List[str]:
+        if (not progress_kinds or not heal_ticks
+                or len(heal_ticks) != len(plan.partitions)):
+            return []
+        last_heal = max(heal_ticks)
+        for ev in run.trace:
+            if ev.kind in progress_kinds and ev.time >= last_heal:
+                return []
+        return ["no progress after heal at t={} (expected one of {})"
+                .format(last_heal, "/".join(progress_kinds))]
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# Scenario success predicates (the liveness half of classification)
+# ----------------------------------------------------------------------
+# A scenario run can reach its deadline and "complete" without achieving
+# anything, so deadlock detection alone cannot spot a wedge: each scenario
+# defines what *getting the job done* means in terms of process results.
+
+def lamport_succeeded(run: RunResult) -> bool:
+    """Every node completed its critical-section pass."""
+    return all(
+        isinstance(run.results.get(n), dict)
+        and run.results[n].get("exited")
+        for n in LAMPORT_NODES
+    )
+
+
+def quorum_lock_succeeded(run: RunResult) -> bool:
+    """Some client completed a fenced hold (the lock stayed usable)."""
+    return any(
+        isinstance(run.results.get(c), dict)
+        and run.results[c].get("locked")
+        for c in LOCK_CLIENTS
+    )
+
+
+def election_succeeded(run: RunResult) -> bool:
+    """A leader was elected and someone still leads at the end."""
+    if run.trace.first(kind="leader_elected") is None:
+        return False
+    return any(
+        isinstance(run.results.get(n), dict)
+        and run.results[n].get("leader")
+        for n in ELECTION_NODES
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario × plan exploration
+# ----------------------------------------------------------------------
+@dataclass
+class PlanOutcome:
+    """Aggregate over explored schedules for one (scenario, plan) cell."""
+
+    plan_name: str
+    plan: NetPlan
+    expected: str
+    runs: int = 0
+    split_brain: int = 0
+    wedged: int = 0
+    tolerant: int = 0
+    violations: List[str] = field(default_factory=list)
+    failover_samples: List[int] = field(default_factory=list)
+    post_heal_samples: List[int] = field(default_factory=list)
+    message_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def classification(self) -> str:
+        if self.split_brain:
+            return SPLIT_BRAIN
+        if self.wedged:
+            return WEDGED
+        return TOLERANT
+
+    @property
+    def mttr_failover(self) -> Optional[float]:
+        if not self.failover_samples:
+            return None
+        return sum(self.failover_samples) / float(
+            len(self.failover_samples))
+
+    @property
+    def mttr_post_heal(self) -> Optional[float]:
+        if not self.post_heal_samples:
+            return None
+        return sum(self.post_heal_samples) / float(
+            len(self.post_heal_samples))
+
+
+@dataclass
+class PartitionScenarioResult:
+    """Every plan cell of one scenario."""
+
+    name: str
+    outcomes: List[PlanOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return sum(o.runs for o in self.outcomes)
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for o in self.outcomes:
+            out.extend(o.violations)
+        return out
+
+    @property
+    def surprises(self) -> List[str]:
+        """Cells whose classification differs from the predicted one."""
+        return [
+            "{} under {}: expected {}, observed {}".format(
+                self.name, o.plan_name, o.expected, o.classification)
+            for o in self.outcomes if o.classification != o.expected
+        ]
+
+
+def explore_partition_scenario(
+    name: str,
+    build: DistBuilder,
+    plans: List["PlanCell"],
+    safety: Checker,
+    success: Callable[[RunResult], bool],
+    max_runs_per_plan: int = 6,
+    max_depth: int = 40,
+) -> PartitionScenarioResult:
+    """Explore one scenario under every plan; classify every run.
+
+    One :class:`NetPlan` instance is reused across explored runs — the
+    network's ``begin()`` resets its fired/announced state each run, the
+    same replay contract :class:`~repro.runtime.faults.FaultPlan` has.
+    """
+    from ..obs.recovery import compute_partition_mttr
+
+    result = PartitionScenarioResult(name=name)
+    for plan_name, plan, expected, heal_kinds in plans:
+        outcome = PlanOutcome(plan_name=plan_name, plan=plan,
+                              expected=expected)
+        progress = make_progress_after_heal(plan,
+                                            progress_kinds=heal_kinds)
+
+        def run_one(policy: ScriptedPolicy) -> RunResult:
+            try:
+                return build(policy, plan, None)
+            except StepLimitExceeded as exc:
+                trace = Trace()
+                for ev in exc.recent_events or []:
+                    trace.append(ev)
+                return RunResult(trace=trace, step_limited=True,
+                                 ready=list(exc.ready or []))
+
+        def tally(run: RunResult) -> List[str]:
+            outcome.runs += 1
+            unsafe = safety(run)
+            if unsafe:
+                outcome.split_brain += 1
+                outcome.violations.extend(unsafe)
+            elif (run.deadlocked or run.step_limited
+                  or not success(run) or progress(run)):
+                outcome.wedged += 1
+            else:
+                outcome.tolerant += 1
+            mttr = compute_partition_mttr(run)
+            for span in mttr.spans:
+                if span.ticks_to_failover is not None:
+                    outcome.failover_samples.append(span.ticks_to_failover)
+                if span.ticks_to_post_heal is not None:
+                    outcome.post_heal_samples.append(
+                        span.ticks_to_post_heal)
+            net = getattr(run, "network_stats", None)
+            if net:
+                for key, val in net.items():
+                    outcome.message_stats[key] = (
+                        outcome.message_stats.get(key, 0) + val)
+            return []
+
+        ExplorationEngine(
+            run_one, max_runs=max_runs_per_plan, max_depth=max_depth,
+        ).explore(tally)
+        result.outcomes.append(outcome)
+    return result
+
+
+# ----------------------------------------------------------------------
+# The standard scenario × plan table
+# ----------------------------------------------------------------------
+#: Plan cell: (label, plan, expected classification, post-heal evidence —
+#: the event kinds whose appearance after the heal tick proves the cut
+#: side reintegrated; empty = nothing to prove).
+PlanCell = Tuple[str, NetPlan, str, Tuple[str, ...]]
+
+
+def _lamport_plans() -> List[PlanCell]:
+    return [
+        ("clean", NetPlan(), TOLERANT, ()),
+        ("lossy", NetPlan().drop("*", "*", nth=2).duplicate("*", "*", nth=5)
+                           .delay("n0", "n1", ticks=4, nth=3),
+         TOLERANT, ()),
+        # All three requesters are stuck until the heal, so recovery means
+        # the critical-section passes finally complete.
+        ("partition-heal",
+         NetPlan().isolate("n0", at=1, heal_at=40), TOLERANT, ("cs_exit",)),
+        # Safe but not live: requesters never assemble the full ack set.
+        ("partition-forever", NetPlan().isolate("n0", at=1), WEDGED, ()),
+    ]
+
+
+def _quorum_lock_plans() -> List[PlanCell]:
+    return [
+        ("clean", NetPlan(), TOLERANT, ()),
+        ("lossy", NetPlan().drop("*", "*", nth=2).duplicate("*", "*", nth=4),
+         TOLERANT, ()),
+        # c0 is cut off mid-acquisition; c1 takes the lock on the majority
+        # side, and the stranded c0 must re-acquire after the heal.
+        ("partition-heal",
+         NetPlan().isolate("c0", at=2, heal_at=60), TOLERANT,
+         ("lease_acquired",)),
+        # The majority side still reclaims the lock once any grants the
+        # stranded client held expire — tolerant without ever healing.
+        ("partition-forever", NetPlan().isolate("c0", at=2), TOLERANT, ()),
+    ]
+
+
+def _election_plans() -> List[PlanCell]:
+    return [
+        ("clean", NetPlan(), TOLERANT, ()),
+        ("lossy", NetPlan().drop("*", "*", nth=3).duplicate("*", "*", nth=6),
+         TOLERANT, ()),
+        # Post-heal reconvergence: either one more election or the stale
+        # minority leader stepping down to the higher term.
+        ("partition-heal",
+         NetPlan().isolate("n0", at=20, heal_at=70), TOLERANT,
+         ("leader_elected", "leader_stepdown")),
+        # The majority elects a higher-term leader and keeps beating.
+        ("partition-forever", NetPlan().isolate("n0", at=20), TOLERANT, ()),
+    ]
+
+
+#: (scenario name, builder, safety oracle, success predicate,
+#: plan-set factory)
+PARTITION_SCENARIOS = [
+    ("lamport_mutex", build_lamport_mutex, check_mutex_intervals,
+     lamport_succeeded, _lamport_plans),
+    ("quorum_lock", build_quorum_lock, check_lease_exclusion,
+     quorum_lock_succeeded, _quorum_lock_plans),
+    ("leader_election", build_leader_election, check_at_most_one_leader,
+     election_succeeded, _election_plans),
+]
+
+
+def partition_report(
+    fast: bool = False,
+) -> Tuple[List[PartitionScenarioResult], str]:
+    """Run every scenario × plan cell; return (results, rendered table)."""
+    budget = 2 if fast else 6
+    results = []
+    for name, build, safety, success, plan_factory in PARTITION_SCENARIOS:
+        results.append(explore_partition_scenario(
+            name, build, plan_factory(), safety, success,
+            max_runs_per_plan=budget,
+        ))
+    rows = []
+    for res in results:
+        for o in res.outcomes:
+            rows.append([
+                res.name,
+                o.plan_name,
+                str(o.runs),
+                str(o.split_brain),
+                str(o.wedged),
+                str(o.tolerant),
+                ("-" if o.mttr_failover is None
+                 else "{:.1f}".format(o.mttr_failover)),
+                ("-" if o.mttr_post_heal is None
+                 else "{:.1f}".format(o.mttr_post_heal)),
+                o.classification,
+            ])
+    table = ascii_table(
+        ["scenario", "net plan", "runs", "split-brain", "wedged",
+         "tolerant", "failover mttr", "post-heal mttr", "classification"],
+        rows,
+        title="Partition tolerance by scenario (schedules explored per "
+              "plan; mttr in virtual ticks)",
+    )
+    return results, table
+
+
+def expected_partition_classifications() -> Dict[Tuple[str, str], str]:
+    """(scenario, plan) -> predicted classification, for the regression
+    tests."""
+    out: Dict[Tuple[str, str], str] = {}
+    for name, __, __, __, plan_factory in PARTITION_SCENARIOS:
+        for plan_name, __, expected, __ in plan_factory():
+            out[(name, plan_name)] = expected
+    return out

@@ -315,3 +315,57 @@ def test_channel_as_one_slot_buffer():
     sched.spawn(consumer, name="c")
     sched.run()
     assert got == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Timeout racing a simultaneous claim: the winner is pinned
+# ----------------------------------------------------------------------
+def _timeout_race(receiver_first, sender_sleep):
+    """A receiver with ``timeout=5`` against a sender waking at
+    ``sender_sleep``; returns (receiver outcome, sender outcome)."""
+    from repro.runtime import WaitTimeout
+
+    sched = Scheduler()
+    chan = Channel(sched, "c")
+
+    def receiver():
+        try:
+            value = yield from chan.receive(timeout=5)
+            return ("got", value)
+        except WaitTimeout:
+            return "timeout"
+
+    def sender():
+        yield from sched.sleep(sender_sleep)
+        try:
+            yield from chan.send("x", timeout=10)
+            return "sent"
+        except WaitTimeout:
+            return "unsent"
+
+    if receiver_first:
+        sched.spawn(receiver, name="R")
+        sched.spawn(sender, name="S")
+    else:
+        sched.spawn(sender, name="S")
+        sched.spawn(receiver, name="R")
+    result = sched.run(on_deadlock="return")
+    return result.results["R"], result.results["S"]
+
+
+@pytest.mark.parametrize("receiver_first", [True, False])
+def test_timeout_tying_a_wakeup_times_out(receiver_first):
+    """Both timers due on the same tick: the clock advance pops *every*
+    timer at that deadline before anyone runs again, so the receiver's
+    timeout withdraws the offer and the sender cannot claim it — in both
+    spawn orders.  Pins the `_withdraw`-beats-`_claim` tie rule."""
+    assert _timeout_race(receiver_first, sender_sleep=5) == \
+        ("timeout", "unsent")
+
+
+@pytest.mark.parametrize("receiver_first", [True, False])
+def test_wakeup_one_tick_before_timeout_rendezvouses(receiver_first):
+    """Control: the sender waking one tick earlier claims the offer before
+    the timeout exists on the heap — the rendezvous completes."""
+    assert _timeout_race(receiver_first, sender_sleep=4) == \
+        (("got", "x"), "sent")

@@ -187,6 +187,161 @@ class TestKill:
 
 
 # ----------------------------------------------------------------------
+# Wildcard drops and describe/repr consistency
+# ----------------------------------------------------------------------
+class TestFaultPlanWildcardAndDescribe:
+    def test_wildcard_drop_counts_signals_on_any_object(self):
+        # drop_signal("*", nth=2): the 2nd V/signal *anywhere* vanishes,
+        # whatever object carries it.
+        plan = FaultPlan().drop_signal("*", nth=2)
+        sched = Scheduler(fault_plan=plan)
+        s1 = Semaphore(sched, initial=0, name="s1")
+        s2 = Semaphore(sched, initial=0, name="s2")
+
+        def waiter(sem):
+            def body():
+                yield from sem.p()
+            return body
+
+        def signaller():
+            yield
+            s1.v()   # 1st signal overall: delivered
+            s2.v()   # 2nd: dropped
+
+        sched.spawn(waiter(s1), name="W1")
+        sched.spawn(waiter(s2), name="W2")
+        sched.spawn(signaller, name="P0")
+        result = sched.run(on_deadlock="return")
+        assert result.trace.first(kind="fault_drop") is not None
+        assert "W1" in result.results
+        assert result.blocked == ["W2"]
+
+    def test_wildcard_and_exact_rules_keep_independent_counters(self):
+        plan = FaultPlan().drop_signal("s1", nth=1).drop_signal("*", nth=2)
+        plan.begin()
+        assert plan.should_drop("s1")        # exact rule fires
+        assert plan.should_drop("s2")        # wildcard's own 2nd signal
+        assert not plan.should_drop("s2")
+
+    def test_exact_rules_on_one_object_compose(self):
+        # Two entries on the same object drop its first two signals.
+        plan = FaultPlan().drop_signal("s", nth=1).drop_signal("s", nth=2)
+        plan.begin()
+        assert plan.should_drop("s")
+        assert plan.should_drop("s")
+        assert not plan.should_drop("s")
+
+    def test_describe_repr_round_trip(self):
+        plan = (FaultPlan()
+                .kill("P0", at_step=2)
+                .kill("P1", on_entry="m")
+                .kill("P2", at_time=9)
+                .delay_wakeups("*", ticks=3)
+                .drop_signal("*", nth=2)
+                .drop_signal("c", nth=1))
+        rendered = repr(plan)
+        for line in plan.describe():
+            assert line in rendered
+        assert "delay wakeups of * by 3 ticks" in rendered
+        assert "drop signal #2 on any object" in rendered
+        assert "drop signal #1 on c" in rendered
+
+
+# ----------------------------------------------------------------------
+# Channel quarantine lift (crash_reclaim) edge cases
+# ----------------------------------------------------------------------
+class TestChannelCrashReclaim:
+    def test_reclaim_preserves_buffered_items_from_dead_sender(self):
+        sched = Scheduler()
+        chan = Channel(sched, name="c", capacity=2, peer_fault="break")
+
+        def sender():
+            yield from chan.send("a")
+            yield from chan.send("b")
+            raise RuntimeError("boom")
+
+        def supervisor():
+            while not chan.broken:
+                yield from sched.sleep(1)
+            corpse = next(p for p in sched.processes if p.name == "S")
+            assert chan.crash_reclaim(corpse) == "reset"
+            first = yield from chan.receive()
+            second = yield from chan.receive()
+            return [first, second]
+
+        sched.spawn(sender, name="S")
+        sched.spawn(supervisor, name="R")
+        result = sched.run(on_error="record")
+        # The quarantine lifted and the pre-crash sends survived it.
+        assert result.results["R"] == ["a", "b"]
+        assert result.trace.first(kind="chan_reset") is not None
+
+    def test_reclaim_races_a_delayed_peer_failed_delivery(self):
+        # The receiver is parked when the channel breaks; its PeerFailed
+        # wakeup is delayed by a fault plan, and the quarantine lifts
+        # *before* the delivery lands.  The in-flight failure must still
+        # arrive (the break really happened), but a retry then succeeds
+        # against the reset channel.
+        plan = FaultPlan().delay_wakeups("R", ticks=5)
+        sched = Scheduler(fault_plan=plan)
+        chan = Channel(sched, name="c", peer_fault="break")
+
+        def dying_user():
+            yield
+            raise RuntimeError("boom")
+
+        def receiver():
+            try:
+                value = yield from chan.receive()
+                return ("got", value)
+            except PeerFailed:
+                assert not chan.broken  # reclaim already lifted it
+                value = yield from chan.receive(timeout=30)
+                return ("retried", value)
+
+        def late_sender():
+            yield from sched.sleep(8)
+            yield from chan.send("fresh")
+
+        corpse = sched.spawn(dying_user, name="S")
+        chan.link(corpse)
+        sched.spawn(receiver, name="R")
+        sched.spawn(late_sender, name="L")
+
+        def supervisor():
+            while not chan.broken:
+                yield from sched.sleep(1)
+            assert chan.crash_reclaim(corpse) == "reset"
+
+        sched.spawn(supervisor, name="Sup")
+        result = sched.run(on_error="record")
+        assert result.results["R"] == ("retried", "fresh")
+        assert result.trace.first(kind="chan_break") is not None
+        assert result.trace.first(kind="chan_reset") is not None
+
+    def test_reclaim_by_non_user_keeps_the_quarantine(self):
+        sched = Scheduler()
+        chan = Channel(sched, name="c", peer_fault="break")
+
+        def dying_user():
+            yield
+            raise RuntimeError("boom")
+
+        def bystander():
+            yield from sched.sleep(3)
+
+        corpse = sched.spawn(dying_user, name="S")
+        chan.link(corpse)
+        other = sched.spawn(bystander, name="B")
+        result = sched.run(on_error="record")
+        assert chan.broken
+        # A process that never used the channel cannot lift its quarantine.
+        assert chan.crash_reclaim(other) is None
+        assert chan.broken
+        assert result.failed() == ["S"]
+
+
+# ----------------------------------------------------------------------
 # Kill inside the critical region, per mechanism
 # ----------------------------------------------------------------------
 class TestCrashSemantics:

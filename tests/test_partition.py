@@ -1,0 +1,245 @@
+"""Partition oracles, scenario classification, partition MTTR, the
+split-brain detector, and the ``repro partition`` CLI."""
+
+import json
+
+from repro.dist import NetPlan
+from repro.explore import SplitBrainChecker
+from repro.obs.recovery import (
+    PARTITION_RECOVERY_KINDS,
+    compute_partition_mttr,
+    partition_recovery_spans,
+)
+from repro.runtime.trace import Event, RunResult, Trace
+from repro.verify.partition import (
+    TOLERANT,
+    WEDGED,
+    check_at_most_one_leader,
+    check_lease_exclusion,
+    check_mutex_intervals,
+    expected_partition_classifications,
+    make_progress_after_heal,
+    partition_report,
+)
+
+
+def _run_with(events):
+    """A synthetic RunResult: events are (time, pname, kind, obj, detail)."""
+    trace = Trace()
+    for seq, (time, pname, kind, obj, detail) in enumerate(events):
+        trace.append(Event(seq, time, 0, pname, kind, obj, detail))
+    return RunResult(trace=trace)
+
+
+# ----------------------------------------------------------------------
+# Safety oracles on synthetic traces
+# ----------------------------------------------------------------------
+class TestLeaseExclusionOracle:
+    def test_disjoint_holders_pass(self):
+        run = _run_with([
+            (0, "c0", "lease_acquired", "c0", {"until": 10}),
+            (6, "c0", "lease_released", "c0", {"at": 6}),
+            (8, "c1", "lease_acquired", "c1", {"until": 20}),
+        ])
+        assert check_lease_exclusion(run) == []
+
+    def test_overlapping_holders_flagged(self):
+        run = _run_with([
+            (0, "c0", "lease_acquired", "c0", {"until": 10}),
+            (6, "c1", "lease_acquired", "c1", {"until": 16}),
+        ])
+        messages = check_lease_exclusion(run)
+        assert len(messages) == 1
+        assert "two lease holders at once" in messages[0]
+
+    def test_release_truncates_the_validity_interval(self):
+        # Released at 4, so a second holder from 5 is fine even though the
+        # first horizon ran to 10.
+        run = _run_with([
+            (0, "c0", "lease_acquired", "c0", {"until": 10}),
+            (4, "c0", "lease_released", "c0", {"at": 4}),
+            (5, "c1", "lease_acquired", "c1", {"until": 15}),
+        ])
+        assert check_lease_exclusion(run) == []
+
+    def test_reacquire_by_same_holder_never_conflicts(self):
+        run = _run_with([
+            (0, "c0", "lease_acquired", "c0", {"until": 10}),
+            (6, "c0", "lease_acquired", "c0", {"until": 16}),
+        ])
+        assert check_lease_exclusion(run) == []
+
+
+class TestLeaderAndMutexOracles:
+    def test_one_leader_per_term_passes(self):
+        run = _run_with([
+            (5, "n0", "leader_elected", "n0", {"term": 1}),
+            (20, "n1", "leader_elected", "n1", {"term": 2}),
+        ])
+        assert check_at_most_one_leader(run) == []
+
+    def test_two_leaders_in_one_term_flagged(self):
+        run = _run_with([
+            (5, "n0", "leader_elected", "n0", {"term": 1}),
+            (7, "n1", "leader_elected", "n1", {"term": 1}),
+        ])
+        messages = check_at_most_one_leader(run)
+        assert messages and "term 1 has 2 leaders" in messages[0]
+
+    def test_mutex_interval_overlap_flagged(self):
+        run = _run_with([
+            (0, "n0", "cs_enter", "n0", None),
+            (1, "n1", "cs_enter", "n1", None),
+            (2, "n0", "cs_exit", "n0", None),
+        ])
+        messages = check_mutex_intervals(run)
+        assert messages and "mutual exclusion violated" in messages[0]
+
+    def test_mutex_abort_closes_the_interval(self):
+        run = _run_with([
+            (0, "n0", "cs_enter", "n0", None),
+            (2, "n0", "cs_abort", "n0", None),
+            (3, "n1", "cs_enter", "n1", None),
+            (5, "n1", "cs_exit", "n1", None),
+        ])
+        assert check_mutex_intervals(run) == []
+
+
+class TestProgressAfterHeal:
+    def test_requires_evidence_after_last_heal(self):
+        plan = NetPlan().isolate("n0", at=5, heal_at=20)
+        check = make_progress_after_heal(plan, ("cs_exit",))
+        stalled = _run_with([(10, "n1", "cs_exit", "n1", None)])
+        assert check(stalled)  # evidence predates the heal
+        recovered = _run_with([(25, "n0", "cs_exit", "n0", None)])
+        assert check(recovered) == []
+
+    def test_unhealed_plan_never_fires(self):
+        plan = NetPlan().isolate("n0", at=5)
+        check = make_progress_after_heal(plan, ("cs_exit",))
+        assert check(_run_with([])) == []
+
+    def test_empty_kinds_disable_the_oracle(self):
+        plan = NetPlan().isolate("n0", at=5, heal_at=20)
+        check = make_progress_after_heal(plan, ())
+        assert check(_run_with([])) == []
+
+
+# ----------------------------------------------------------------------
+# Partition MTTR spans
+# ----------------------------------------------------------------------
+class TestPartitionMttr:
+    def _trace(self):
+        return _run_with([
+            (20, "net", "net_partition", "net", "partition {n0} | {rest}"),
+            (33, "n1", "leader_elected", "n1", {"term": 2}),
+            (70, "net", "net_heal", "net", "partition {n0} | {rest}"),
+            (74, "n0", "leader_stepdown", "n0", {"term": 2}),
+        ])
+
+    def test_span_measures_both_legs(self):
+        spans = partition_recovery_spans(self._trace())
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.healed
+        assert span.ticks_to_failover == 13
+        assert span.failover_kind == "leader_elected"
+        assert span.ticks_to_post_heal == 4
+        assert span.post_heal_kind == "leader_stepdown"
+        assert "failover in 13 tick(s)" in span.describe()
+
+    def test_unhealed_partition_has_no_post_heal_leg(self):
+        run = _run_with([
+            (20, "net", "net_partition", "net", "partition {n0} | {rest}"),
+            (33, "n1", "leader_elected", "n1", {"term": 2}),
+        ])
+        span = partition_recovery_spans(run)[0]
+        assert not span.healed
+        assert span.ticks_to_failover == 13
+        assert span.ticks_to_post_heal is None
+        assert "no failover" not in span.describe()
+
+    def test_metrics_aggregate_and_render(self):
+        metrics = compute_partition_mttr(self._trace())
+        assert metrics.partitions == 1
+        assert metrics.mttr_failover == 13.0
+        assert metrics.mttr_post_heal == 4.0
+        assert "Partition recovery" in metrics.render()
+
+    def test_stepdown_counts_as_reconvergence(self):
+        assert "leader_stepdown" in PARTITION_RECOVERY_KINDS
+
+    def test_empty_trace_has_no_spans(self):
+        metrics = compute_partition_mttr(_run_with([]))
+        assert metrics.partitions == 0
+        assert metrics.mttr_failover is None
+
+
+# ----------------------------------------------------------------------
+# The split-brain detector composes the oracles
+# ----------------------------------------------------------------------
+class TestSplitBrainChecker:
+    def test_flags_double_leadership(self):
+        run = _run_with([
+            (5, "n0", "leader_elected", "n0", {"term": 1}),
+            (7, "n1", "leader_elected", "n1", {"term": 1}),
+        ])
+        messages = SplitBrainChecker()(run)
+        assert messages and messages[0].startswith("split brain: ")
+
+    def test_flags_double_lease_holders(self):
+        run = _run_with([
+            (0, "c0", "lease_acquired", "c0", {"until": 10}),
+            (6, "c1", "lease_acquired", "c1", {"until": 16}),
+        ])
+        assert SplitBrainChecker()(run)
+
+    def test_non_dist_runs_trivially_pass(self):
+        run = _run_with([(0, "P0", "acquire", "m", None)])
+        assert SplitBrainChecker()(run) == []
+
+
+# ----------------------------------------------------------------------
+# The report and the CLI
+# ----------------------------------------------------------------------
+def test_partition_report_fast_matches_model():
+    results, table = partition_report(fast=True)
+    observed = {
+        (res.name, o.plan_name): o.classification
+        for res in results for o in res.outcomes
+    }
+    assert observed == expected_partition_classifications()
+    for res in results:
+        assert res.violations == []
+        assert res.surprises == []
+    assert observed[("lamport_mutex", "partition-forever")] == WEDGED
+    assert observed[("quorum_lock", "partition-forever")] == TOLERANT
+    assert "partition-tolerant" in table
+
+
+def test_partition_cli_text(capsys):
+    from repro.__main__ import main
+
+    code = main(["partition", "--fast"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no split brain on any explored schedule" in out
+
+
+def test_partition_cli_json_schema(capsys):
+    from repro.__main__ import main
+
+    code = main(["partition", "--fast", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["surprises"] == []
+    assert payload["violations"] == []
+    names = {s["name"] for s in payload["scenarios"]}
+    assert names == {"lamport_mutex", "quorum_lock", "leader_election"}
+    for scenario in payload["scenarios"]:
+        for plan in scenario["plans"]:
+            assert plan["split_brain"] == 0
+            assert {"plan", "faults", "expected", "runs", "classification",
+                    "mttr_failover", "mttr_post_heal",
+                    "message_stats"} <= set(plan)
