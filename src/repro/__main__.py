@@ -237,6 +237,51 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .load import LOAD_MECHANISMS, render_curves, saturation_curve
+
+    if args.mechanism in ("all", ""):
+        mechanisms = list(LOAD_MECHANISMS)
+    else:
+        mechanisms = [m.strip() for m in args.mechanism.split(",") if m.strip()]
+    if args.fast:
+        counts = [8, 32]
+        ops = 1
+    else:
+        counts = [int(c) for c in args.clients.split(",") if c.strip()]
+        ops = args.ops
+    curves = {}
+    for mechanism in mechanisms:
+        curves[mechanism] = saturation_curve(
+            mechanism, counts, shards=args.shards, arrival=args.arrival,
+            horizon=args.horizon, ops=ops, capacity=args.capacity,
+            seed=args.seed,
+        )
+    payload = {
+        "config": {
+            "arrival": args.arrival,
+            "shards": args.shards,
+            "ops": ops,
+            "capacity": args.capacity,
+            "horizon": args.horizon,
+            "seed": args.seed,
+            "clients": counts,
+        },
+        "mechanisms": {m: [p.to_dict() for p in pts]
+                       for m, pts in curves.items()},
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote {}".format(args.out))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_curves(curves))
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     from .verify.recovery import (
         expected_recovery,
@@ -669,6 +714,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--json", action="store_true",
                         help="machine-readable output")
     p_part.set_defaults(func=_cmd_partition)
+
+    p_load = sub.add_parser(
+        "load",
+        help="heavy-traffic saturation curves per mechanism (E19)")
+    p_load.add_argument("--mechanism", default="all",
+                        help="comma list of mechanisms, or 'all'")
+    p_load.add_argument("--clients", default="16,64,256",
+                        help="comma list of swarm sizes to sweep")
+    p_load.add_argument("--shards", type=int, default=2)
+    p_load.add_argument("--arrival", default="poisson",
+                        choices=("poisson", "bursty", "diurnal"))
+    p_load.add_argument("--ops", type=int, default=2,
+                        help="put/get cycles per client")
+    p_load.add_argument("--capacity", type=int, default=8)
+    p_load.add_argument("--horizon", type=int, default=256,
+                        help="arrival horizon in virtual ticks")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--fast", action="store_true",
+                        help="small sweep for CI smoke")
+    p_load.add_argument("--json", action="store_true")
+    p_load.add_argument("--out", default="",
+                        help="also write the JSON payload to this path")
+    p_load.set_defaults(func=_cmd_load)
 
     p_rec = sub.add_parser(
         "recover",

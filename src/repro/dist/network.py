@@ -114,6 +114,9 @@ class Network:
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
+        #: node -> peak inbox depth ever observed right after a deposit —
+        #: the backlog a slow or partitioned-off node accumulates.
+        self.inbox_peak: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -194,6 +197,10 @@ class Network:
         self.delivered += 1
         self.sched.log("msg_deliver", link, value)
         chan._deposit(value)
+        depth = chan.buffered
+        if depth > self.inbox_peak.get(chan.node, 0):
+            self.inbox_peak[chan.node] = depth
+        self.sched.probe("inbox", chan.node, depth)
 
     def _flush_held(self, src: str, dst: str) -> None:
         """Release reorder-held messages on a link right after a younger
@@ -265,12 +272,15 @@ class Network:
                 yield from sched.sleep(due - now)
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
-        """Message-overhead counters for benches and reports."""
+    def stats(self) -> Dict[str, Any]:
+        """Message-overhead counters for benches and reports.  All values
+        are ints except ``inbox_peak``, a per-node gauge dict — aggregators
+        sum the counters and max-merge the gauges."""
         return {
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
             "duplicated": self.duplicated,
             "delayed": self.delayed,
+            "inbox_peak": dict(self.inbox_peak),
         }

@@ -1,0 +1,42 @@
+"""Heavy-traffic load observatory: open arrivals, client swarms, and
+per-mechanism saturation curves over the streaming telemetry sink.
+
+Quick use::
+
+    from repro.load import saturation_curve
+    points = saturation_curve("monitor", [16, 64, 256])
+    for p in points:
+        print(p.clients, p.throughput, p.latency["p95"])
+
+or from the command line::
+
+    python -m repro load --mechanism monitor --clients 16,64,256
+"""
+
+from .arrivals import ARRIVALS, bursty, diurnal, make_arrivals, poisson
+from .engine import (
+    DEFAULT_HORIZON,
+    LOAD_MECHANISMS,
+    LoadPoint,
+    ShardedResource,
+    ascii_curve,
+    render_curves,
+    run_load,
+    saturation_curve,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "poisson",
+    "bursty",
+    "diurnal",
+    "make_arrivals",
+    "LOAD_MECHANISMS",
+    "DEFAULT_HORIZON",
+    "ShardedResource",
+    "LoadPoint",
+    "run_load",
+    "saturation_curve",
+    "ascii_curve",
+    "render_curves",
+]

@@ -72,6 +72,7 @@ from .recovery import (
     recovery_spans,
 )
 from .sink import InstrumentationSink, MetricsSink, NullSink, RecordingSink
+from .streaming import QuantileSketch, StreamingSink, WindowedSeries
 from .spans import (
     Span,
     blocked_time_by_object,
@@ -85,6 +86,9 @@ __all__ = [
     "NullSink",
     "MetricsSink",
     "RecordingSink",
+    "StreamingSink",
+    "QuantileSketch",
+    "WindowedSeries",
     "Span",
     "fold_spans",
     "spans_by_kind",

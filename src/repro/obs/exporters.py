@@ -37,6 +37,12 @@ _CATEGORIES = {
 #: instant-event kinds worth flagging on the timeline.
 _INSTANTS = ("killed", "failed", "timeout", "signal", "advance")
 
+#: network-layer kinds (dist.Network + protocol dedup): rendered on their
+#: own "network" track rather than attributed to whichever process happened
+#: to be running when the network logged them.
+_NETWORK = ("msg_send", "msg_deliver", "msg_drop", "msg_dup", "msg_delay",
+            "msg_hold", "msg_dedup", "net_partition", "net_heal")
+
 
 def chrome_trace(
     spans: Sequence[Span],
@@ -84,9 +90,14 @@ def chrome_trace(
             "args": args,
         })
 
+    extra_tid = max([span.pid for span in spans if span.pid >= 0],
+                    default=-1) + 1
+    if trace is not None:
+        extra_tid = max(extra_tid,
+                        max((ev.pid for ev in trace), default=-1) + 1)
     if critical:
-        crit_tid = max([span.pid for span in spans if span.pid >= 0],
-                       default=-1) + 1
+        crit_tid = extra_tid
+        extra_tid += 1
         seen_tids.setdefault(crit_tid, "critical path")
         for seg in critical:
             events.append({
@@ -106,7 +117,24 @@ def chrome_trace(
             })
 
     if trace is not None:
+        net_tid = extra_tid
         for ev in trace:
+            if ev.kind in _NETWORK:
+                # One shared track: a message's send/deliver/drop history
+                # reads as a single lane, with the acting process kept in
+                # args instead of scattering the story across threads.
+                seen_tids.setdefault(net_tid, "network")
+                events.append({
+                    "name": "%s %s" % (ev.kind, ev.obj),
+                    "cat": "network",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ev.seq,
+                    "pid": 0,
+                    "tid": net_tid,
+                    "args": {"detail": str(ev.detail), "pname": ev.pname},
+                })
+                continue
             if ev.kind not in _INSTANTS:
                 continue
             if ev.pid >= 0:

@@ -125,6 +125,9 @@ class RunMetrics:
     kind_counts: Dict[str, int] = field(default_factory=dict)
     objects: Dict[str, ObjectMetrics] = field(default_factory=dict)
     operations: Dict[str, Dict[str, Histogram]] = field(default_factory=dict)
+    #: message-overhead counters from ``dist.Network.stats()`` when the run
+    #: carried a network (``RunResult.network_stats``); empty otherwise.
+    network: Dict[str, Any] = field(default_factory=dict)
 
     def object_metrics(self, obj: str) -> ObjectMetrics:
         metrics = self.objects.get(obj)
@@ -150,6 +153,7 @@ class RunMetrics:
                 op: {half: h.to_dict() for half, h in halves.items()}
                 for op, halves in sorted(self.operations.items())
             },
+            "network": dict(self.network),
         }
 
     def render(self) -> str:
@@ -174,6 +178,16 @@ class RunMetrics:
                        m.contention_ratio, m.blocked_total,
                        m.wait.percentile(50), m.wait.percentile(90),
                        m.max_queue_depth))
+        if self.network:
+            peaks = self.network.get("inbox_peak") or {}
+            lines.append(
+                "net: sent=%d delivered=%d dropped=%d dup=%d delayed=%d%s"
+                % (self.network.get("sent", 0),
+                   self.network.get("delivered", 0),
+                   self.network.get("dropped", 0),
+                   self.network.get("duplicated", 0),
+                   self.network.get("delayed", 0),
+                   " peak-inbox=%d" % max(peaks.values()) if peaks else ""))
         if self.operations:
             lines.append("")
             lines.append("  %-28s %5s %6s %6s %6s %6s"
@@ -205,6 +219,11 @@ def compute_metrics(
     """
     metrics = RunMetrics(deadlocked=result.deadlocked)
     span_list = list(spans)
+
+    # --- message overhead (runs that carried a dist.Network) ------------
+    net_stats = getattr(result, "network_stats", None)
+    if net_stats:
+        metrics.network = dict(net_stats)
 
     # --- run counters ---------------------------------------------------
     for ev in result.trace:

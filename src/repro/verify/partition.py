@@ -28,7 +28,7 @@ scenarios stay tolerant because a majority side keeps the service up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core import ascii_table
 from ..dist import NetPlan
@@ -212,7 +212,7 @@ class PlanOutcome:
     violations: List[str] = field(default_factory=list)
     failover_samples: List[int] = field(default_factory=list)
     post_heal_samples: List[int] = field(default_factory=list)
-    message_stats: Dict[str, int] = field(default_factory=dict)
+    message_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def classification(self) -> str:
@@ -320,8 +320,16 @@ def explore_partition_scenario(
             net = getattr(run, "network_stats", None)
             if net:
                 for key, val in net.items():
-                    outcome.message_stats[key] = (
-                        outcome.message_stats.get(key, 0) + val)
+                    if isinstance(val, dict):
+                        # Gauge dicts (per-node inbox_peak): max-merge so
+                        # the plan reports the worst backlog any run saw.
+                        gauges = outcome.message_stats.setdefault(key, {})
+                        for node, peak in val.items():
+                            if peak > gauges.get(node, 0):
+                                gauges[node] = peak
+                    else:
+                        outcome.message_stats[key] = (
+                            outcome.message_stats.get(key, 0) + val)
             return []
 
         ExplorationEngine(

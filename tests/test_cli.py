@@ -102,6 +102,76 @@ def test_robustness_json_schema_golden(capsys):
         assert scenario["runs"] > 0
 
 
+def test_partition_json_schema_golden(capsys):
+    # Golden schema lock, mirroring the robustness one: the partition JSON
+    # feeds CI artifact diffing, so key sets are asserted exactly.
+    import json
+
+    code, out = run_cli(capsys, "partition", "--fast", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"scenarios", "surprises", "violations"}
+    assert payload["surprises"] == []
+    assert payload["violations"] == []
+    assert [s["name"] for s in payload["scenarios"]] == [
+        "lamport_mutex", "quorum_lock", "leader_election",
+    ]
+    for scenario in payload["scenarios"]:
+        assert set(scenario) == {"name", "runs", "plans"}, scenario["name"]
+        assert scenario["runs"] > 0
+        assert [p["plan"] for p in scenario["plans"]] == [
+            "clean", "lossy", "partition-heal", "partition-forever",
+        ]
+        for plan in scenario["plans"]:
+            assert set(plan) == {
+                "plan", "faults", "expected", "runs", "split_brain",
+                "wedged", "tolerant", "violations", "mttr_failover",
+                "mttr_post_heal", "message_stats", "classification",
+            }, (scenario["name"], plan["plan"])
+            stats = plan["message_stats"]
+            # Satellite wiring: every plan reports message overhead,
+            # including the per-node inbox-depth gauge.
+            assert {"sent", "delivered", "inbox_peak"} <= set(stats)
+            assert stats["sent"] >= stats["delivered"]
+            assert all(peak >= 1 for peak in stats["inbox_peak"].values())
+
+
+def test_load_command_fast(capsys):
+    code, out = run_cli(capsys, "load", "--fast", "--mechanism",
+                        "semaphore,serializer")
+    assert code == 0
+    assert "throughput (ops/ktick) vs clients" in out
+    assert "serializer" in out
+
+
+def test_load_json_schema_golden(capsys, tmp_path):
+    import json
+
+    out_path = str(tmp_path / "load.json")
+    code, out = run_cli(capsys, "load", "--fast", "--mechanism", "monitor",
+                        "--json", "--out", out_path)
+    assert code == 0
+    # --out writes the same payload it prints (minus the confirmation).
+    printed = json.loads(out[out.index("{"):])
+    with open(out_path) as fh:
+        payload = json.load(fh)
+    assert payload == printed
+    assert set(payload) == {"config", "mechanisms"}
+    assert set(payload["config"]) == {
+        "arrival", "shards", "ops", "capacity", "horizon", "seed", "clients",
+    }
+    (points,) = [payload["mechanisms"]["monitor"]]
+    assert [p["clients"] for p in points] == payload["config"]["clients"]
+    for point in points:
+        assert set(point) == {
+            "mechanism", "clients", "shards", "offered_rate", "completed",
+            "duration_ticks", "steps", "wall_seconds", "throughput",
+            "steps_per_op", "latency", "wait", "max_depth", "memory_cells",
+            "events",
+        }
+        assert set(point["latency"]) == {"p50", "p95", "p99", "mean", "max"}
+
+
 def test_recover_command(capsys):
     code, out = run_cli(capsys, "recover", "--fast")
     assert code == 0

@@ -128,7 +128,39 @@ class TestNetwork:
         result = sched.run()
         assert result.results["b"] == [1, 2, 3]
         assert net.stats() == {"sent": 3, "delivered": 3, "dropped": 0,
-                               "duplicated": 0, "delayed": 0}
+                               "duplicated": 0, "delayed": 0,
+                               "inbox_peak": {"b": 3}}
+
+    def test_inbox_peak_tracks_backlog_and_probes_the_sink(self):
+        from repro.obs import MetricsSink
+
+        sink = MetricsSink()
+        sched = Scheduler(sink=sink)
+        net = Network(sched)
+        _pair(sched, net, [1, 2, 3, 4], 4)
+        sched.run()
+        stats = net.stats()
+        # The sender bursts ahead of the receiver, so the inbox backs up;
+        # the peak is a gauge (max), not a counter.
+        assert 1 <= stats["inbox_peak"]["b"] <= 4
+        # Every delivery publishes an inbox-depth probe to the sink.
+        assert sink.probe_counts.get("b") == stats["delivered"]
+        assert sink.max_depth.get("b") == stats["inbox_peak"]["b"]
+
+    def test_network_stats_flow_into_run_metrics(self):
+        from repro.obs import RecordingSink, compute_metrics, fold_spans
+
+        sink = RecordingSink()
+        sched = Scheduler(sink=sink)
+        net = Network(sched)
+        _pair(sched, net, [1, 2], 2)
+        result = sched.run()
+        result.network_stats = net.stats()
+        metrics = compute_metrics(result, fold_spans(result.trace), sink)
+        assert metrics.network["sent"] == 2
+        assert metrics.network["inbox_peak"]["b"] >= 1
+        assert metrics.to_dict()["network"]["delivered"] == 2
+        assert "net: sent=2" in metrics.render()
 
     def test_drop_is_logged_with_rule_reason(self):
         sched = Scheduler()

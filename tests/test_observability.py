@@ -229,6 +229,80 @@ def test_chrome_trace_shape():
     json.dumps(doc)  # must be serializable as-is
 
 
+def _network_run():
+    """A run whose trace carries the full network vocabulary: sends,
+    delivers, drops, dups, delays, plus a scripted partition and heal."""
+    from repro.dist import NetPlan, Network
+    from repro.runtime.scheduler import Scheduler
+
+    sched = Scheduler()
+    plan = (NetPlan().drop("a", "b", nth=2).duplicate("a", "b", nth=3)
+            .delay("a", "b", nth=4, ticks=2).partition(["a"], ["b"],
+                                                       at=50, heal_at=60))
+    net = Network(sched, plan)
+    net.start()
+
+    def sender():
+        for i in range(5):
+            yield from net.node("b").send(i)
+            yield from sched.sleep(3)
+        yield from sched.sleep(70)
+
+    def receiver():
+        for _ in range(4):  # one message is dropped
+            yield from net.node("b").receive(timeout=100)
+
+    sched.spawn(sender, name="a")
+    sched.spawn(receiver, name="b")
+    return sched.run()
+
+
+def test_chrome_trace_network_track():
+    from repro.obs import fold_spans
+
+    result = _network_run()
+    trace_kinds = {ev.kind for ev in result.trace}
+    assert {"msg_send", "msg_deliver", "msg_drop", "msg_dup", "msg_delay",
+            "net_partition", "net_heal"} <= trace_kinds
+    doc = chrome_trace(list(fold_spans(result.trace)), result.trace)
+    events = doc["traceEvents"]
+    net_events = [ev for ev in events if ev.get("cat") == "network"]
+    exported_kinds = {ev["name"].split(" ")[0] for ev in net_events}
+    # Nothing network-flavoured is dropped or misfiled any more.
+    assert {"msg_send", "msg_deliver", "msg_drop", "msg_dup", "msg_delay",
+            "net_partition", "net_heal"} <= exported_kinds
+    # All on one dedicated track, disjoint from every process track and
+    # labelled "network" in the thread metadata.
+    net_tids = {ev["tid"] for ev in net_events}
+    assert len(net_tids) == 1
+    net_tid = net_tids.pop()
+    proc_tids = {ev["tid"] for ev in events
+                 if ev["ph"] == "X" and ev.get("cat") != "network"}
+    assert net_tid not in proc_tids
+    names = {ev["tid"]: ev["args"]["name"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "thread_name"}
+    assert names[net_tid] == "network"
+    for ev in net_events:
+        assert ev["ph"] == "i"
+        assert "pname" in ev["args"]
+    json.dumps(doc)
+
+
+def test_network_events_round_trip_through_jsonl():
+    from repro.obs import fold_spans, parse_jsonl
+
+    result = _network_run()
+    spans = list(fold_spans(result.trace))
+    lines = list(jsonl_lines(spans, result.trace))
+    back_spans, back_events = parse_jsonl(lines)
+    original = [(e.seq, e.kind, e.obj) for e in result.trace
+                if e.kind.startswith(("msg_", "net_"))]
+    recovered = [(e.seq, e.kind, e.obj) for e in back_events
+                 if e.kind.startswith(("msg_", "net_"))]
+    assert original and original == recovered
+    assert len(back_spans) == len(spans)
+
+
 def test_jsonl_lines_parse():
     report = run_profile("fcfs_resource", "semaphore")
     lines = list(jsonl_lines(report.spans, report.result.trace))
