@@ -32,7 +32,13 @@ Commands:
 * ``regress``       — compare current runs against a stored baseline
   (``--baseline path``) and exit nonzero on gated-metric regressions;
   ``--write-baseline path`` records the baseline, ``--inject-delay N``
-  injects a synthetic slowdown to prove the gate trips.
+  injects a synthetic slowdown to prove the gate trips, ``--load`` gates
+  saturation-sweep latency tails (p95/p99) instead of causal profiles.
+* ``synth``         — CEGIS synthesis & repair: diagnose the footnote-3
+  anomaly in the verbatim Figure-1 program (minimized witness + causal
+  chain), then search the candidate grammar for a minimal synchronizer
+  that is exhaustively violation-free and keeps readers concurrent;
+  ``--fast`` is the CI smoke mode, verdicts are cached and replayable.
 
 ``--seed`` (where accepted) switches the run to a seeded random scheduling
 policy; omitting it keeps the deterministic FIFO schedule.  ``--json``
@@ -424,6 +430,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     except KeyError as bad:
         print("error: {}".format(bad.args[0]), file=sys.stderr)
         return 2
+    warm = None
+    fp_cache = None
+    preloaded = 0
+    if args.fp_cache:
+        from .obs.runstore import FingerprintCache
+
+        fp_cache = FingerprintCache()
+        warm = fp_cache.load(args.problem, args.mechanism,
+                             max_depth=args.max_depth)
+        preloaded = len(warm)
     result = explore_parallel(
         target,
         workers=args.workers,
@@ -432,7 +448,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         prune=args.prune,
         seed=args.seed,
         stop_at_first=args.stop_at_first,
+        warm_seen=warm,
     )
+    if fp_cache is not None and warm is not None:
+        fp_cache.save(args.problem, args.mechanism, warm,
+                      max_depth=args.max_depth,
+                      exhausted=result.exhausted)
     minimized = None
     if args.minimize and result.witness is not None:
         minimized = minimize_witness(
@@ -452,6 +473,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             "violations": len(result.violations),
             "witness": list(result.witness) if result.witness else None,
         }
+        if fp_cache is not None:
+            payload["fp_cache"] = {
+                "preloaded": preloaded,
+                "new_states": result.states,
+                "persisted": result.exhausted,
+            }
         if minimized is not None:
             payload["minimized"] = {
                 "decisions": list(minimized.minimized),
@@ -468,6 +495,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         result.states,
         "exhausted" if result.exhausted else "budget hit",
     ))
+    if fp_cache is not None:
+        print("fingerprint cache: {} key(s) preloaded, {} new, {}".format(
+            preloaded, result.states,
+            "persisted" if result.exhausted
+            else "not persisted (budget hit)"))
     if result.ok:
         print("no violations found")
         return 0
@@ -586,15 +618,33 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         run_causal,
     )
     from .obs.profiles import WORKLOADS
+    from .obs.runstore import load_tail_record
     from .problems.registry import solutions_for
+
+    load_counts = [int(c) for c in args.load_clients.split(",") if c.strip()]
+
+    def tail_record(mechanism, seed):
+        from .load import saturation_curve
+
+        points = saturation_curve(mechanism, load_counts,
+                                  seed=seed if seed is not None else 0)
+        return load_tail_record(mechanism, points, seed=seed)
 
     if args.write_baseline:
         records = []
-        for entry in solutions_for(args.problem, args.mechanism):
-            if entry.problem not in WORKLOADS:
-                continue
-            records.append(run_causal(entry.problem, entry.mechanism,
-                                      seed=args.seed).record)
+        if args.load:
+            from .load import LOAD_MECHANISMS
+
+            mechanisms = ([args.mechanism] if args.mechanism
+                          else list(LOAD_MECHANISMS))
+            for mechanism in mechanisms:
+                records.append(tail_record(mechanism, args.seed))
+        else:
+            for entry in solutions_for(args.problem, args.mechanism):
+                if entry.problem not in WORKLOADS:
+                    continue
+                records.append(run_causal(entry.problem, entry.mechanism,
+                                          seed=args.seed).record)
         with open(args.write_baseline, "w") as fh:
             fh.write(dump_baseline(records))
         print("wrote baseline of {} record(s) to {}".format(
@@ -606,6 +656,8 @@ def _cmd_regress(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     baseline = load_baseline(args.baseline)
+    if args.load:
+        baseline = [r for r in baseline if r.problem == "load_tail"]
     if args.problem or args.mechanism:
         baseline = [
             r for r in baseline
@@ -622,10 +674,13 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     missing = []
     for base in baseline:
         try:
-            current = run_causal(
-                base.problem, base.mechanism, seed=base.seed,
-                fault_plan=_fault_plan(args.inject_delay),
-            ).record
+            if base.problem == "load_tail":
+                current = tail_record(base.mechanism, base.seed)
+            else:
+                current = run_causal(
+                    base.problem, base.mechanism, seed=base.seed,
+                    fault_plan=_fault_plan(args.inject_delay),
+                ).record
         except KeyError:
             missing.append(base.key)
             continue
@@ -655,6 +710,39 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         if missing:
             print("\nskipped (no workload here): " + ", ".join(missing))
     return 1 if regressions else 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .synth import SynthConfig, repair_footnote3
+
+    config = SynthConfig.fast() if args.fast else SynthConfig()
+    if args.max_size is not None:
+        config.max_size = args.max_size
+    if args.max_runs is not None:
+        config.max_runs = args.max_runs
+    if args.max_depth is not None:
+        config.max_depth = args.max_depth
+    if args.max_candidates is not None:
+        config.max_candidates = args.max_candidates
+    if args.no_cache:
+        config.use_cache = False
+    if args.cache_root:
+        config.cache_root = args.cache_root
+    if args.no_fp_cache:
+        config.use_fp_cache = False
+
+    if args.repair != "footnote3":
+        print("error: unknown repair target {!r} (only: footnote3)".format(
+            args.repair), file=sys.stderr)
+        return 2
+    say = (lambda message: None) if args.json else print
+    report = repair_footnote3(config, log=say)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -825,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="TICKS",
                        help="delay every wakeup by TICKS (synthetic "
                        "slowdown; self-test of the gate)")
+    p_reg.add_argument("--load", action="store_true",
+                       help="gate load-sweep latency tails instead of "
+                       "causal profiles (compares saturation-curve p95/p99 "
+                       "per mechanism against the baseline)")
+    p_reg.add_argument("--load-clients", default="8,32", metavar="N,N",
+                       help="sweep populations for --load (default 8,32; "
+                       "the largest is the gated tail point)")
     p_reg.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_reg.set_defaults(func=_cmd_regress)
@@ -857,9 +952,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--minimize", action="store_true",
                        help="shrink the witness to a locally minimal "
                        "decision string and replay its timeline")
+    p_exp.add_argument("--fp-cache", action="store_true",
+                       help="warm-start from (and persist to) the "
+                       "cross-run fingerprint cache in the run store")
     p_exp.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_exp.set_defaults(func=_cmd_explore)
+
+    p_syn = sub.add_parser(
+        "synth",
+        help="CEGIS synthesis & repair over the explore engine",
+    )
+    p_syn.add_argument("--repair", default="footnote3", metavar="TARGET",
+                       help="repair target (default and only: footnote3 — "
+                       "the paper's Figure-1 anomaly)")
+    p_syn.add_argument("--fast", action="store_true",
+                       help="CI smoke mode: smaller grammar (no serializer "
+                       "atoms) and tighter budgets")
+    p_syn.add_argument("--max-size", type=int, default=None,
+                       help="candidate size bound (path nodes + guard "
+                       "atoms)")
+    p_syn.add_argument("--max-runs", type=int, default=None,
+                       help="exploration budget per candidate")
+    p_syn.add_argument("--max-depth", type=int, default=None,
+                       help="exploration branching horizon")
+    p_syn.add_argument("--max-candidates", type=int, default=None,
+                       help="total candidates to judge before giving up")
+    p_syn.add_argument("--no-cache", action="store_true",
+                       help="disable the replayable oracle cache")
+    p_syn.add_argument("--cache-root", default=None, metavar="DIR",
+                       help="oracle-cache directory (default "
+                       ".repro/runs/synthesis)")
+    p_syn.add_argument("--no-fp-cache", action="store_true",
+                       help="disable per-candidate fingerprint warm-starts")
+    p_syn.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_syn.set_defaults(func=_cmd_synth)
 
     return parser
 

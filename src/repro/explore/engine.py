@@ -207,6 +207,7 @@ class ExplorationEngine:
         self,
         check: Checker,
         stop_at_first: bool = False,
+        warm: Optional[Set[PruneKey]] = None,
     ) -> ExplorationResult:
         """Search for schedules where ``check`` reports violations.
 
@@ -214,10 +215,21 @@ class ExplorationEngine:
             check: maps a run result to violation messages (empty = ok).
             stop_at_first: return as soon as one violating schedule is
                 found (used when hunting for a witness, e.g. experiment E5).
+            warm: prune keys claimed by previous searches of the *same*
+                system (see :class:`repro.obs.runstore.FingerprintCache`);
+                mutated in place — after the search it holds the union of
+                old and new claims, ready to persist.  Only meaningful
+                with ``prune=True``.  ``result.states`` counts only keys
+                claimed by *this* search.
         """
         result = ExplorationResult()
         frontier: List[Tuple[int, ...]] = [()]
-        seen: Optional[Set[PruneKey]] = set() if self.prune else None
+        seen: Optional[Set[PruneKey]]
+        if self.prune:
+            seen = warm if warm is not None else set()
+        else:
+            seen = None
+        preloaded = len(seen) if seen is not None else 0
         while frontier:
             if result.runs >= self.max_runs:
                 result.exhausted = False
@@ -233,7 +245,7 @@ class ExplorationEngine:
             children, pruned = expand_record(record, self.max_depth, seen)
             result.pruned += pruned
             frontier.extend(children)
-        result.states = len(seen) if seen is not None else 0
+        result.states = len(seen) - preloaded if seen is not None else 0
         return result
 
     def find_schedule(self, predicate: Checker) -> Optional[Tuple[int, ...]]:

@@ -88,6 +88,7 @@ def explore_parallel(
     prune: bool = True,
     seed: Optional[int] = None,
     stop_at_first: bool = False,
+    warm_seen: Optional[Set[PruneKey]] = None,
 ) -> ExplorationResult:
     """Explore ``target``'s schedule space with ``workers`` processes.
 
@@ -104,6 +105,12 @@ def explore_parallel(
         seed: deterministic wave-order shuffle; affects which schedules a
             *budget-limited* search reaches, never an exhaustive one.
         stop_at_first: stop once a wave containing a violation is merged.
+        warm_seen: prune keys claimed by previous searches of the same
+            target (the persistent fingerprint cache,
+            :class:`repro.obs.runstore.FingerprintCache`); mutated in
+            place so the caller can persist the union afterwards.  Only
+            meaningful with ``prune=True``; ``result.states`` counts only
+            keys claimed by this search.
 
     Returns:
         An :class:`ExplorationResult` identical for any ``workers`` value.
@@ -115,7 +122,12 @@ def explore_parallel(
         )
     result = ExplorationResult()
     frontier: List[Tuple[int, ...]] = [()]
-    seen: Optional[Set[PruneKey]] = set() if prune else None
+    seen: Optional[Set[PruneKey]]
+    if prune:
+        seen = warm_seen if warm_seen is not None else set()
+    else:
+        seen = None
+    preloaded = len(seen) if seen is not None else 0
     key = _wave_key(seed)
     pool = None
     if workers > 1:
@@ -177,5 +189,5 @@ def explore_parallel(
         if pool is not None:
             pool.close()
             pool.join()
-    result.states = len(seen) if seen is not None else 0
+    result.states = len(seen) - preloaded if seen is not None else 0
     return result

@@ -10,11 +10,11 @@ closure.
 
 Each target couples a deliberately small workload (2–3 processes, 1–2
 operations each, so the schedule space is exhaustible within CLI budgets)
-with the problem's own oracle plus the mechanism-level detectors
-(:class:`~repro.explore.detectors.ConflictingAccessChecker`,
-:class:`~repro.explore.detectors.LostWakeupChecker`).  All runs use
-``on_deadlock="return"`` / ``on_error="record"`` so pathological schedules
-are *reported* by checkers rather than aborting the search.
+with a named oracle from :mod:`repro.verify.registry` — the same oracles
+the synthesis engine (:mod:`repro.synth`) verifies candidates against, so
+exploration and synthesis cannot drift apart on what "correct" means.  All
+runs use ``on_deadlock="return"`` / ``on_error="record"`` so pathological
+schedules are *reported* by checkers rather than aborting the search.
 
 The ``footnote3`` target is the paper's E5 anomaly as a search problem:
 the Figure-1 path-expression arrival pattern checked against the strict
@@ -31,19 +31,9 @@ from ..runtime.faults import FaultPlan
 from ..runtime.policies import SchedulingPolicy
 from ..runtime.scheduler import Scheduler
 from ..runtime.trace import RunResult
-from ..verify.oracles import (
-    check_alarm_wakeups,
-    check_alternation,
-    check_class_priority_two_stage,
-    check_fcfs,
-    check_readers_priority_strict,
-    check_single_occupancy,
-)
-from .detectors import ConflictingAccessChecker, LostWakeupChecker
+from ..verify.registry import oracle
 
 Checker = Callable[[RunResult], List[str]]
-
-_lost_wakeup = LostWakeupChecker()
 
 
 def _factory(problem: str, mechanism: str):
@@ -54,7 +44,8 @@ def _factory(problem: str, mechanism: str):
 
 # ----------------------------------------------------------------------
 # Workloads (sched, mechanism) -> RunResult.  Kept module-level so worker
-# processes resolve them by problem name.
+# processes resolve them by problem name.  The matching oracles live in
+# repro.verify.registry under the names listed in _SPECS below.
 # ----------------------------------------------------------------------
 def _run_readers_priority(sched: Scheduler, mechanism: str) -> RunResult:
     impl = _factory("readers_priority", mechanism)(sched)
@@ -68,15 +59,6 @@ def _run_readers_priority(sched: Scheduler, mechanism: str) -> RunResult:
     sched.spawn(reader, name="R")
     sched.spawn(writer, name="W")
     return sched.run(on_deadlock="return", on_error="record")
-
-
-_db_races = ConflictingAccessChecker("db", writes=["write"], reads=["read"])
-
-
-def _check_readers_priority(run: RunResult) -> List[str]:
-    messages = _db_races(run)
-    messages += _lost_wakeup(run)
-    return messages
 
 
 def _run_footnote3(sched: Scheduler, mechanism: str) -> RunResult:
@@ -100,10 +82,6 @@ def _run_footnote3(sched: Scheduler, mechanism: str) -> RunResult:
     return sched.run(on_deadlock="return", on_error="record")
 
 
-def _check_footnote3(run: RunResult) -> List[str]:
-    return list(check_readers_priority_strict(run.trace, "db"))
-
-
 def _run_bounded_buffer(sched: Scheduler, mechanism: str) -> RunResult:
     impl = _factory("bounded_buffer", mechanism)(sched)
     consumed: List[int] = []
@@ -125,18 +103,6 @@ def _run_bounded_buffer(sched: Scheduler, mechanism: str) -> RunResult:
     result = sched.run(on_deadlock="return", on_error="record")
     result.results["consumed"] = list(consumed)
     return result
-
-
-def _check_bounded_buffer(run: RunResult) -> List[str]:
-    messages: List[str] = []
-    consumed = run.results.get("consumed", [])
-    if not run.deadlocked and sorted(consumed) != [0, 1]:
-        messages.append(
-            "buffer integrity: consumed {!r}, expected a permutation of "
-            "[0, 1]".format(consumed)
-        )
-    messages += _lost_wakeup(run)
-    return messages
 
 
 def _run_one_slot_buffer(sched: Scheduler, mechanism: str) -> RunResult:
@@ -164,18 +130,6 @@ def _run_one_slot_buffer(sched: Scheduler, mechanism: str) -> RunResult:
     return result
 
 
-def _check_one_slot_buffer(run: RunResult) -> List[str]:
-    messages = list(check_alternation(run.trace, "slot"))
-    consumed = run.results.get("consumed", [])
-    if not run.deadlocked and sorted(consumed) != [0, 1]:
-        messages.append(
-            "slot integrity: consumed {!r}, expected a permutation of "
-            "[0, 1]".format(consumed)
-        )
-    messages += _lost_wakeup(run)
-    return messages
-
-
 def _run_fcfs_resource(sched: Scheduler, mechanism: str) -> RunResult:
     impl = _factory("fcfs_resource", mechanism)(sched)
 
@@ -185,13 +139,6 @@ def _run_fcfs_resource(sched: Scheduler, mechanism: str) -> RunResult:
     for i in range(3):
         sched.spawn(contender, name="U{}".format(i))
     return sched.run(on_deadlock="return", on_error="record")
-
-
-def _check_fcfs_resource(run: RunResult) -> List[str]:
-    messages = list(check_fcfs(run.trace, "res", ["use"]))
-    messages += check_single_occupancy(run.trace, "res", ["use"])
-    messages += _lost_wakeup(run)
-    return messages
 
 
 def _run_alarm_clock(sched: Scheduler, mechanism: str) -> RunResult:
@@ -222,17 +169,6 @@ def _run_alarm_clock(sched: Scheduler, mechanism: str) -> RunResult:
     return result
 
 
-def _check_alarm_clock(run: RunResult) -> List[str]:
-    messages = list(check_alarm_wakeups(run.trace, "alarm"))
-    wakes = run.results.get("wakes", [])
-    if not run.deadlocked and wakes != sorted(wakes):
-        messages.append(
-            "wake order {!r} not by deadline".format(wakes)
-        )
-    messages += _lost_wakeup(run)
-    return messages
-
-
 def _run_staged_queue(sched: Scheduler, mechanism: str) -> RunResult:
     from ..problems.staged_queue import run_classes
 
@@ -243,32 +179,23 @@ def _run_staged_queue(sched: Scheduler, mechanism: str) -> RunResult:
     )
 
 
-def _check_staged_queue(run: RunResult) -> List[str]:
-    messages = list(check_class_priority_two_stage(
-        run.trace, "res", high_op="acquire_a", low_op="acquire_b"
-    ))
-    messages += check_single_occupancy(run.trace, "res",
-                                       ["acquire_a", "acquire_b"])
-    messages += _lost_wakeup(run)
-    return messages
-
-
 # ----------------------------------------------------------------------
 # The catalog
 # ----------------------------------------------------------------------
-#: problem -> (workload, checker, registry problem used for mechanisms)
-_SPECS: Dict[str, Tuple[Callable, Checker, str]] = {
+#: problem -> (workload, oracle name, registry problem used for mechanisms)
+_SPECS: Dict[str, Tuple[Callable, str, str]] = {
     "readers_priority": (
-        _run_readers_priority, _check_readers_priority, "readers_priority"),
-    "footnote3": (_run_footnote3, _check_footnote3, "readers_priority"),
+        _run_readers_priority, "readers_priority_races", "readers_priority"),
+    "footnote3": (_run_footnote3, "footnote3_strict", "readers_priority"),
     "bounded_buffer": (
-        _run_bounded_buffer, _check_bounded_buffer, "bounded_buffer"),
+        _run_bounded_buffer, "bounded_buffer_integrity", "bounded_buffer"),
     "one_slot_buffer": (
-        _run_one_slot_buffer, _check_one_slot_buffer, "one_slot_buffer"),
+        _run_one_slot_buffer, "one_slot_alternation", "one_slot_buffer"),
     "fcfs_resource": (
-        _run_fcfs_resource, _check_fcfs_resource, "fcfs_resource"),
-    "alarm_clock": (_run_alarm_clock, _check_alarm_clock, "alarm_clock"),
-    "staged_queue": (_run_staged_queue, _check_staged_queue, "staged_queue"),
+        _run_fcfs_resource, "fcfs_resource", "fcfs_resource"),
+    "alarm_clock": (_run_alarm_clock, "alarm_clock", "alarm_clock"),
+    "staged_queue": (
+        _run_staged_queue, "staged_queue_priority", "staged_queue"),
 }
 
 
@@ -296,10 +223,16 @@ class ExplorationTarget:
         return lambda policy: self.build_and_run(policy)
 
     @property
+    def oracle_name(self) -> str:
+        """The registry name of this target's oracle battery."""
+        __, name, __ = _SPECS[self.problem]
+        return name
+
+    @property
     def checker(self) -> Checker:
-        """The problem oracle + detectors battery for this target."""
-        __, checker, __ = _SPECS[self.problem]
-        return checker
+        """The problem oracle + detectors battery for this target, resolved
+        from the shared registry (:mod:`repro.verify.registry`)."""
+        return oracle(self.oracle_name)
 
 
 def get_target(problem: str, mechanism: str) -> ExplorationTarget:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .critical_path import CriticalPathReport
 
@@ -45,6 +45,11 @@ GATED_METRICS: Dict[str, str] = {
     "path_blocked_ticks": "+",
     "steps": "+",
     "context_switches": "+",
+    # Latency-tail metrics from `repro load` saturation sweeps (seq-axis
+    # percentiles at the sweep's largest population).  Optional: profile
+    # records leave them None and the gate skips them.
+    "latency_p95": "+",
+    "latency_p99": "+",
 }
 
 
@@ -69,6 +74,10 @@ class RunRecord:
     info_type_ticks: Dict[str, int] = field(default_factory=dict)
     blocked_by_object: Dict[str, int] = field(default_factory=dict)
     speedups: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Seq-axis latency tail (load sweeps only; None on profile records,
+    #: and the gate skips a metric either side lacks).
+    latency_p95: Optional[int] = None
+    latency_p99: Optional[int] = None
 
     @property
     def key(self) -> str:
@@ -78,7 +87,7 @@ class RunRecord:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "schema": self.schema,
             "problem": self.problem,
             "mechanism": self.mechanism,
@@ -99,6 +108,11 @@ class RunRecord:
             "speedups": {k: dict(v) for k, v in
                          sorted(self.speedups.items())},
         }
+        if self.latency_p95 is not None:
+            data["latency_p95"] = self.latency_p95
+        if self.latency_p99 is not None:
+            data["latency_p99"] = self.latency_p99
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
@@ -118,6 +132,9 @@ class RunRecord:
         record.blocked_by_object = dict(data.get("blocked_by_object", {}))
         record.speedups = {k: dict(v)
                            for k, v in data.get("speedups", {}).items()}
+        for attr in ("latency_p95", "latency_p99"):
+            if data.get(attr) is not None:
+                setattr(record, attr, int(data[attr]))
         return record
 
     # ------------------------------------------------------------------
@@ -145,6 +162,32 @@ class RunRecord:
             record.context_switches = metrics.context_switches
             record.handoffs = metrics.handoffs
         return record
+
+
+def load_tail_record(mechanism: str, points: List[Any],
+                     seed: Optional[int] = None) -> RunRecord:
+    """A gateable record from a ``saturation_curve`` sweep.
+
+    Takes the sweep's **largest population** point — the saturation end of
+    the curve, where queueing dominates and tail blowups surface first —
+    and records its seq-axis p95/p99 latency alongside the usual virtual-
+    time counters.  All inputs are virtual-time data, so the record is as
+    machine-stable as any profile record, and ``repro regress --load``
+    can fail CI on a tail-latency regression.
+
+    ``points`` are :class:`repro.load.LoadPoint` objects (duck-typed here
+    to keep obs free of a load-package import).
+    """
+    if not points:
+        raise ValueError("load_tail_record needs at least one sweep point")
+    tail = max(points, key=lambda p: p.clients)
+    record = RunRecord(problem="load_tail", mechanism=mechanism, seed=seed)
+    record.makespan = int(tail.duration_ticks)
+    record.steps = int(tail.steps)
+    record.events = int(tail.events)
+    record.latency_p95 = int(round(tail.latency["p95"]))
+    record.latency_p99 = int(round(tail.latency["p99"]))
+    return record
 
 
 def canonical_json(payload: Any) -> str:
@@ -217,6 +260,125 @@ def dump_baseline(records: List[RunRecord]) -> str:
 
 
 # ----------------------------------------------------------------------
+# The fingerprint cache: persistent cross-run exploration state
+# ----------------------------------------------------------------------
+#: Schema of fingerprint-cache files (independent of RUNSTORE_SCHEMA).
+FP_CACHE_SCHEMA = 1
+
+#: Default location of fingerprint-cache files, under the run store.
+FP_CACHE_ROOT = os.path.join(DEFAULT_ROOT, "fingerprints")
+
+
+class FingerprintCache:
+    """Persistent ``(state fingerprint, chosen pid)`` prune keys from past
+    explorations, keyed by ``(problem, mechanism[, variant])``.
+
+    The explore engine's equivalence pruning
+    (:func:`repro.explore.engine.expand_record`) claims one key per
+    explored subtree; warm-starting a later search with those keys makes
+    it skip every subtree a previous run already covered — repeated
+    ``repro explore --fp-cache`` invocations and synthesis candidate
+    re-runs collapse to (nearly) a single schedule.  ``variant`` carves
+    separate namespaces per candidate fingerprint, so candidates with
+    different semantics never share subtree claims.
+
+    Soundness rules (enforced here and at the save call sites):
+
+    * Only **exhausted** searches may be persisted — an out-of-budget
+      search claims subtrees it never finished, and reusing those claims
+      would silently skip unexplored schedules.  :meth:`save` refuses
+      unless the caller asserts exhaustion.
+    * A cache recorded at branching depth ``D`` warms only searches with
+      ``max_depth <= D`` (deeper searches would trust shallow claims);
+      :meth:`load` returns a cold (empty) set on a depth mismatch.
+
+    Fingerprints are virtual-time canonical-state digests, so cache files
+    are portable across machines like every other run-store artifact —
+    but **not** across code changes that alter scheduler state layout;
+    ``repro explore --fp-cache`` rebuilds stale caches for free because an
+    unmatched fingerprint simply never prunes.
+    """
+
+    def __init__(self, root: str = FP_CACHE_ROOT) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def _path(self, problem: str, mechanism: str,
+              variant: Optional[str]) -> str:
+        name = "{}__{}__{}.json".format(problem, mechanism,
+                                        variant if variant else "base")
+        return os.path.join(self.root, name)
+
+    def load(self, problem: str, mechanism: str, *,
+             variant: Optional[str] = None,
+             max_depth: Optional[int] = None) -> Set[Tuple[int, int]]:
+        """The stored prune-key set, or an empty (cold) set when there is
+        no usable cache: missing file, newer schema, or a stored depth
+        shallower than ``max_depth``."""
+        path = self._path(problem, mechanism, variant)
+        if not os.path.exists(path):
+            return set()
+        with open(path) as fh:
+            data = json.load(fh)
+        if int(data.get("schema", 1)) > FP_CACHE_SCHEMA:
+            return set()
+        stored_depth = data.get("max_depth")
+        if (max_depth is not None and stored_depth is not None
+                and int(stored_depth) < max_depth):
+            return set()
+        return {(int(fp), int(pid)) for fp, pid in data.get("keys", [])}
+
+    def save(self, problem: str, mechanism: str,
+             keys: Set[Tuple[int, int]], *,
+             variant: Optional[str] = None,
+             max_depth: Optional[int] = None,
+             exhausted: bool = False) -> Optional[str]:
+        """Union-merge ``keys`` into the stored set; returns the path, or
+        ``None`` when nothing was written.
+
+        Refuses (returns ``None``) unless ``exhausted`` — see the class
+        docstring.  A merge keeps the *shallower* of the two depths so the
+        stored depth never overstates coverage.
+        """
+        if not exhausted:
+            return None
+        path = self._path(problem, mechanism, variant)
+        merged = set(keys)
+        depth: Optional[int] = max_depth
+        if os.path.exists(path):
+            with open(path) as fh:
+                data = json.load(fh)
+            if int(data.get("schema", 1)) <= FP_CACHE_SCHEMA:
+                merged |= {(int(fp), int(pid))
+                           for fp, pid in data.get("keys", [])}
+                stored_depth = data.get("max_depth")
+                if stored_depth is not None:
+                    depth = (int(stored_depth) if depth is None
+                             else min(depth, int(stored_depth)))
+        os.makedirs(self.root, exist_ok=True)
+        payload = {
+            "schema": FP_CACHE_SCHEMA,
+            "problem": problem,
+            "mechanism": mechanism,
+            "variant": variant,
+            "max_depth": depth,
+            "keys": sorted([fp, pid] for fp, pid in merged),
+        }
+        with open(path, "w") as fh:
+            fh.write(canonical_json(payload))
+        return path
+
+    def discard(self, problem: str, mechanism: str, *,
+                variant: Optional[str] = None) -> bool:
+        """Drop one cache entry; True when a file was removed."""
+        path = self._path(problem, mechanism, variant)
+        if os.path.exists(path):
+            os.remove(path)
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
 # The regression gate
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -253,8 +415,14 @@ def compare_records(
     """
     regressions = []
     for metric in sorted(GATED_METRICS):
-        base = int(getattr(baseline, metric, 0))
-        cur = int(getattr(current, metric, 0))
+        base_raw = getattr(baseline, metric, None)
+        cur_raw = getattr(current, metric, None)
+        if base_raw is None or cur_raw is None:
+            # Optional metric absent on either side (e.g. latency tails on
+            # profile records, or an older baseline): not comparable.
+            continue
+        base = int(base_raw)
+        cur = int(cur_raw)
         if cur <= base:
             continue
         grew_pct = (100.0 * (cur - base) / base) if base else float("inf")
@@ -271,9 +439,14 @@ def render_comparison(
     lines = ["%-34s %10s %10s %10s %10s"
              % ("run", "makespan", "(base)", "blocked", "(base)")]
     for base, cur in pairs:
-        lines.append("%-34s %10d %10d %10d %10d" % (
+        row = "%-34s %10d %10d %10d %10d" % (
             cur.key[:34], cur.makespan, base.makespan,
-            cur.path_blocked_ticks, base.path_blocked_ticks))
+            cur.path_blocked_ticks, base.path_blocked_ticks)
+        if cur.latency_p95 is not None and base.latency_p95 is not None:
+            row += "   p95 %d (%d)  p99 %d (%d)" % (
+                cur.latency_p95, base.latency_p95,
+                cur.latency_p99 or 0, base.latency_p99 or 0)
+        lines.append(row)
     if regressions:
         lines.append("")
         lines.append("REGRESSIONS:")

@@ -1,0 +1,77 @@
+"""Synthesis & repair: CEGIS over the explore engine.
+
+The paper evaluates synchronization mechanisms by writing solutions by
+hand and judging them; this package closes the loop by *searching* for
+solutions.  A bounded grammar of candidate synchronizers (path programs +
+guard predicates, :mod:`repro.synth.grammar`) is enumerated smallest
+first; a CEGIS loop (:mod:`repro.synth.cegis`) judges each candidate with
+the explore engine as verifier, banking ddmin-minimized counterexample
+schedules that reject later candidates without exploration; every oracle
+verdict is logged to a replayable cache (:mod:`repro.synth.cache`) so
+interrupted runs resume for free.  The flagship application
+(:mod:`repro.synth.repair`) auto-repairs the paper's own footnote-3
+anomaly in its Figure-1 readers/writers path expression.
+"""
+
+from .cache import (
+    CORRECT,
+    INCONCLUSIVE,
+    NO_CONCURRENCY,
+    ORACLE_CACHE_SCHEMA,
+    VIOLATION,
+    OracleCache,
+    cache_key,
+    replay_verdict,
+)
+from .candidates import (
+    ATOM_EVALS,
+    CONCURRENCY_WORKLOAD,
+    FOOTNOTE3_WORKLOAD,
+    SynthGuardedRW,
+    reads_overlap,
+    run_candidate_footnote3,
+    run_candidate_two_readers,
+)
+from .cegis import (
+    Counterexample,
+    SynthConfig,
+    SynthOutcome,
+    SynthStats,
+    synthesize,
+)
+from .grammar import (
+    Candidate,
+    PathProgram,
+    enumerate_candidates,
+    enumerate_path_programs,
+)
+from .repair import RepairReport, repair_footnote3
+
+__all__ = [
+    "ATOM_EVALS",
+    "CONCURRENCY_WORKLOAD",
+    "CORRECT",
+    "Candidate",
+    "Counterexample",
+    "FOOTNOTE3_WORKLOAD",
+    "INCONCLUSIVE",
+    "NO_CONCURRENCY",
+    "ORACLE_CACHE_SCHEMA",
+    "OracleCache",
+    "PathProgram",
+    "RepairReport",
+    "SynthConfig",
+    "SynthGuardedRW",
+    "SynthOutcome",
+    "SynthStats",
+    "VIOLATION",
+    "cache_key",
+    "enumerate_candidates",
+    "enumerate_path_programs",
+    "reads_overlap",
+    "repair_footnote3",
+    "replay_verdict",
+    "run_candidate_footnote3",
+    "run_candidate_two_readers",
+    "synthesize",
+]

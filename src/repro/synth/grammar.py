@@ -1,0 +1,224 @@
+"""The candidate grammar: bounded, smallest-first enumeration of
+readers/writers synchronizers.
+
+A candidate (:class:`Candidate`) is a *path program* plus one *guard
+conjunction* per operation, executed on the
+:class:`~repro.mechanisms.pathexpr.extended.GuardedPathResource` substrate
+(see :mod:`repro.synth.candidates`).  The one grammar spans the three
+predicate families the paper's mechanisms suggest:
+
+* **path-expression terms** — enumerated path programs over ``read`` /
+  ``write`` built from the paper's own combinators (selection ``,``,
+  sequence ``;``, burst ``{}``), including the unconstrained two-path
+  program that delegates everything to guards;
+* **monitor wait-condition predicates** — guard atoms over occupancy and
+  demand counters (``active(op)``, ``pending(op)``), the vocabulary a
+  monitor's condition-variable wait loops range over;
+* **serializer queue predicates** — guard atoms over the parked-request
+  queue (``waiting(op)``), the vocabulary of serializer crowd/queue
+  conditions.
+
+Enumeration is **deterministic and smallest-first**: candidates are
+ordered by total size (path-AST nodes + guard atoms), ties broken
+lexicographically — so the first correct candidate the CEGIS loop meets is
+a minimal one, and re-runs enumerate identically (the oracle cache and
+counterexample bank rely on that).
+
+The atom vocabulary is deliberately *relational* rather than syntactic:
+``pending(op)`` counts requests announced but not yet started — exactly
+the quantity the strict Courtois–Heymans–Parnas oracle
+(:func:`repro.verify.oracles.check_readers_priority_strict`) is defined
+over — so the grammar can express the condition the paper's Figure-1
+program fails to enforce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..mechanisms.pathexpr.ast import Burst, Name, PathExpr, PathNode, Selection, Sequence
+
+#: The two operations every candidate synchronizes.
+OPS = ("read", "write")
+
+#: Guard-atom vocabulary, per guarded operation.  Atoms are named by the
+#: condition they assert; evaluation lives in repro.synth.candidates.
+#: A read may be conditioned on writer state; a write on reader demand /
+#: occupancy and on other writers.  ``waiting`` atoms are the serializer
+#: family (parked-queue predicates); ``pending``/``active`` the monitor
+#: family (counter predicates).
+READ_ATOMS: Tuple[str, ...] = (
+    "active(write)==0",
+    "pending(write)==0",
+    "waiting(write)==0",
+)
+WRITE_ATOMS: Tuple[str, ...] = (
+    "pending(read)==0",
+    "active(read)==0",
+    "waiting(read)==0",
+    "active(write)==0",
+)
+
+
+def _node_size(node: PathNode) -> int:
+    """AST size: one per operation occurrence and one per combinator."""
+    if isinstance(node, Name):
+        return 1
+    if isinstance(node, Burst):
+        return 1 + _node_size(node.body)
+    if isinstance(node, (Sequence, Selection)):
+        children = (node.elements if isinstance(node, Sequence)
+                    else node.alternatives)
+        return 1 + sum(_node_size(child) for child in children)
+    if isinstance(node, PathExpr):
+        return _node_size(node.body)
+    raise TypeError("unsized node {!r}".format(node))
+
+
+@dataclass(frozen=True)
+class PathProgram:
+    """One enumerated path program: canonical text plus its grammar size."""
+
+    text: str
+    size: int
+
+
+def enumerate_path_programs() -> List[PathProgram]:
+    """Every path program in the grammar, smallest first.
+
+    Shapes, with ``r`` ranging over ``read`` / ``{ read }`` and ``w`` over
+    ``write`` / ``{ write }``:
+
+    * ``path r , w end`` — exclusive selection (the paper's isolated
+      exclusion path when ``r`` is the read burst);
+    * ``path r ; w end`` and ``path w ; r end`` — strict alternation;
+    * ``path r end`` + ``path w end`` — two independent paths, i.e. **no**
+      path constraint: the monitor-family substrate where guards carry the
+      entire discipline.
+
+    Each operation appears exactly once per program (repetition is already
+    implicit in path semantics), so the space is finite by construction.
+    """
+    read_terms: List[PathNode] = [Name("read"), Burst(Name("read"))]
+    write_terms: List[PathNode] = [Name("write"), Burst(Name("write"))]
+    programs: List[PathProgram] = []
+    for r, w in itertools.product(read_terms, write_terms):
+        shapes: List[PathNode] = [
+            Selection((r, w)),
+            Sequence((r, w)),
+            Sequence((w, r)),
+        ]
+        for body in shapes:
+            expr = PathExpr(body)
+            programs.append(PathProgram(
+                text=expr.unparse() + "\n",
+                size=_node_size(body),
+            ))
+    for r, w in itertools.product(read_terms, write_terms):
+        text = PathExpr(r).unparse() + "\n" + PathExpr(w).unparse() + "\n"
+        programs.append(PathProgram(
+            text=text, size=_node_size(r) + _node_size(w)))
+    programs.sort(key=lambda p: (p.size, p.text))
+    return programs
+
+
+def _conjunctions(atoms: Tuple[str, ...]) -> List[Tuple[str, ...]]:
+    """All conjunctions (subsets) of ``atoms``, smallest first, in the
+    vocabulary's own order within each length."""
+    out: List[Tuple[str, ...]] = []
+    for length in range(len(atoms) + 1):
+        out.extend(itertools.combinations(atoms, length))
+    return out
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate synchronizer: a path program plus per-op guards."""
+
+    paths_text: str
+    read_guard: Tuple[str, ...]
+    write_guard: Tuple[str, ...]
+    path_size: int
+
+    @property
+    def size(self) -> int:
+        """Grammar size: path-AST nodes + guard atoms (the minimality
+        metric smallest-first enumeration orders by)."""
+        return self.path_size + len(self.read_guard) + len(self.write_guard)
+
+    @property
+    def family(self) -> str:
+        """Which grammar family the candidate draws on: ``path`` (no
+        guards), ``serializer`` (any queue atom), else ``monitor``."""
+        atoms = self.read_guard + self.write_guard
+        if not atoms:
+            return "path"
+        if any(atom.startswith("waiting(") for atom in atoms):
+            return "serializer"
+        return "monitor"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash — the oracle-cache key."""
+        payload = repr((self.paths_text, self.read_guard,
+                        self.write_guard)).encode()
+        return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+    def describe(self) -> str:
+        lines = [line.strip() for line in self.paths_text.strip().split("\n")]
+        for op, guard in (("read", self.read_guard),
+                          ("write", self.write_guard)):
+            if guard:
+                lines.append("guard {}: {}".format(op, " and ".join(guard)))
+        return "; ".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "paths": self.paths_text,
+            "read_guard": list(self.read_guard),
+            "write_guard": list(self.write_guard),
+            "size": self.size,
+            "family": self.family,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def enumerate_candidates(
+    max_size: int = 10,
+    include_serializer: bool = True,
+) -> Iterator[Candidate]:
+    """All candidates with ``size <= max_size``, smallest first,
+    deterministically ordered (size, then path text, then guards).
+
+    Args:
+        max_size: total-size bound (path nodes + guard atoms).
+        include_serializer: drop ``waiting()`` atoms when False — the CLI
+            ``--fast`` mode, which shrinks the space ~4x without touching
+            the monitor/path families the known repairs live in.
+    """
+    read_atoms = tuple(a for a in READ_ATOMS
+                       if include_serializer or not a.startswith("waiting("))
+    write_atoms = tuple(a for a in WRITE_ATOMS
+                        if include_serializer or not a.startswith("waiting("))
+    programs = enumerate_path_programs()
+    candidates: List[Candidate] = []
+    for program in programs:
+        if program.size >= max_size + 1:
+            continue
+        for read_guard in _conjunctions(read_atoms):
+            for write_guard in _conjunctions(write_atoms):
+                candidate = Candidate(
+                    paths_text=program.text,
+                    read_guard=read_guard,
+                    write_guard=write_guard,
+                    path_size=program.size,
+                )
+                if candidate.size <= max_size:
+                    candidates.append(candidate)
+    candidates.sort(key=lambda c: (c.size, c.paths_text,
+                                   c.read_guard, c.write_guard))
+    for candidate in candidates:
+        yield candidate

@@ -52,8 +52,24 @@ from .oracles import (
     check_single_occupancy,
     check_writers_priority_strict,
 )
+from .registry import (
+    Oracle,
+    OracleSpec,
+    SYNTH_RW_BATTERY,
+    battery,
+    oracle,
+    oracle_names,
+    register_oracle,
+)
 
 __all__ = [
+    "Oracle",
+    "OracleSpec",
+    "SYNTH_RW_BATTERY",
+    "battery",
+    "oracle",
+    "oracle_names",
+    "register_oracle",
     "ConflictingAccessChecker",
     "LostWakeupChecker",
     "compose_checkers",

@@ -229,3 +229,140 @@ def test_bench_persist_is_canonical_and_merges(tmp_path):
     persist("demo", {"c": {"z": 1}}, directory=str(tmp_path))
     merged = json.loads(open(first).read())
     assert merged == {"a": 1, "b": 2, "c": {"z": 1}}
+
+
+# ----------------------------------------------------------------------
+# The cross-run fingerprint cache
+# ----------------------------------------------------------------------
+
+
+def test_fp_cache_refuses_unexhausted_saves(tmp_path):
+    from repro.obs.runstore import FingerprintCache
+
+    cache = FingerprintCache(str(tmp_path / "fp"))
+    keys = {(1, 0), (2, 1)}
+    assert cache.save("p", "m", keys, max_depth=60, exhausted=False) is None
+    assert cache.load("p", "m") == set()
+    path = cache.save("p", "m", keys, max_depth=60, exhausted=True)
+    assert path is not None
+    assert cache.load("p", "m") == keys
+
+
+def test_fp_cache_depth_gating_and_union_merge(tmp_path):
+    from repro.obs.runstore import FingerprintCache
+
+    cache = FingerprintCache(str(tmp_path / "fp"))
+    cache.save("p", "m", {(1, 0)}, max_depth=40, exhausted=True)
+    # A deeper search must come up cold (shallow claims would hide
+    # unexplored subtrees); an equal-or-shallower one warms.
+    assert cache.load("p", "m", max_depth=60) == set()
+    assert cache.load("p", "m", max_depth=40) == {(1, 0)}
+    assert cache.load("p", "m", max_depth=10) == {(1, 0)}
+    # Merge unions keys and keeps the SHALLOWER depth.
+    cache.save("p", "m", {(2, 1)}, max_depth=60, exhausted=True)
+    assert cache.load("p", "m", max_depth=40) == {(1, 0), (2, 1)}
+    assert cache.load("p", "m", max_depth=60) == set()
+
+
+def test_fp_cache_variants_are_isolated(tmp_path):
+    from repro.obs.runstore import FingerprintCache
+
+    cache = FingerprintCache(str(tmp_path / "fp"))
+    cache.save("p", "m", {(1, 0)}, variant="a", max_depth=60,
+               exhausted=True)
+    assert cache.load("p", "m", variant="b", max_depth=60) == set()
+    assert cache.load("p", "m", variant="a", max_depth=60) == {(1, 0)}
+    assert cache.discard("p", "m", variant="a")
+    assert cache.load("p", "m", variant="a", max_depth=60) == set()
+
+
+def test_explore_cli_fp_cache_warm_start(tmp_path, capsys, monkeypatch):
+    """Second --fp-cache exploration of the same target claims (nearly)
+    nothing new: the persisted keys prune every revisited subtree."""
+    monkeypatch.chdir(tmp_path)
+    argv = ["explore", "one_slot_buffer", "semaphore",
+            "--max-runs", "4000", "--fp-cache", "--json"]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["exhausted"]
+    assert cold["fp_cache"]["preloaded"] == 0
+    assert cold["fp_cache"]["persisted"]
+    assert cold["fp_cache"]["new_states"] > 0
+
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["fp_cache"]["preloaded"] == cold["fp_cache"]["new_states"]
+    assert warm["fp_cache"]["new_states"] == 0
+    assert warm["runs"] < cold["runs"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: load-sweep latency tails through the gate
+# ----------------------------------------------------------------------
+
+
+class _Point:
+    def __init__(self, clients, p95, p99, ticks=100, steps=500, events=50):
+        self.clients = clients
+        self.latency = {"p95": p95, "p99": p99}
+        self.duration_ticks = ticks
+        self.steps = steps
+        self.events = events
+
+
+def test_load_tail_record_takes_largest_population():
+    from repro.obs.runstore import load_tail_record
+
+    record = load_tail_record(
+        "monitor", [_Point(8, 4.0, 6.0), _Point(32, 9.0, 14.0)], seed=3)
+    assert record.problem == "load_tail"
+    assert record.key == "load_tail/monitor@seed3"
+    assert (record.latency_p95, record.latency_p99) == (9, 14)
+    # Round-trips through the schema with the optional fields intact.
+    clone = RunRecord.from_dict(record.to_dict())
+    assert (clone.latency_p95, clone.latency_p99) == (9, 14)
+
+
+def test_latency_tail_gate_and_none_skip():
+    base = RunRecord(problem="load_tail", mechanism="m", makespan=100,
+                     latency_p95=20, latency_p99=40)
+    # Tail regression past threshold + floor: trips on the tail metrics.
+    worse = RunRecord(problem="load_tail", mechanism="m", makespan=100,
+                      latency_p95=30, latency_p99=60)
+    hits = compare_records(base, worse, threshold_pct=10.0)
+    assert {r.metric for r in hits} == {"latency_p95", "latency_p99"}
+    # A profile record (no tails) against a tail baseline: skipped, not
+    # treated as zero.
+    plain = RunRecord(problem="load_tail", mechanism="m", makespan=100)
+    assert compare_records(base, plain) == []
+    assert compare_records(plain, worse) == []
+
+
+def test_regress_load_cli_round_trip(tmp_path, capsys):
+    base = str(tmp_path / "load_tail.json")
+    code = main(["regress", "--load", "--mechanism", "monitor",
+                 "--write-baseline", base])
+    capsys.readouterr()
+    assert code == 0
+    records = load_baseline(base)
+    assert [r.key for r in records] == ["load_tail/monitor"]
+    assert records[0].latency_p95 is not None
+
+    code = main(["regress", "--load", "--baseline", base, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["compared"] == ["load_tail/monitor"]
+    assert payload["regressions"] == []
+
+    # A doctored baseline (tails lowered) must trip the gate on p95/p99.
+    doctored = [r.to_dict() for r in records]
+    doctored[0]["latency_p95"] = max(1, doctored[0]["latency_p95"] - 3)
+    doctored[0]["latency_p99"] = max(1, doctored[0]["latency_p99"] - 5)
+    with open(base, "w") as fh:
+        json.dump(doctored, fh)
+    code = main(["regress", "--load", "--baseline", base, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {r["metric"] for r in payload["regressions"]} <= \
+        {"latency_p95", "latency_p99"}
+    assert payload["regressions"]
