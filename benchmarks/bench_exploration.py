@@ -141,6 +141,12 @@ def _timed_explore(target, **kwargs):
     return result, seconds
 
 
+def explore_parallel_with(target, telemetry, **kwargs):
+    from repro.explore import explore_parallel
+
+    return explore_parallel(target, telemetry=telemetry, **kwargs)
+
+
 def _stats(result, seconds):
     return {
         "runs": result.runs,
@@ -174,14 +180,35 @@ def test_e14b_engine_throughput():
     assert (par.runs, par.exhausted) == (naive.runs, naive.exhausted)
     speedup = naive_s / par_s if par_s else 0.0
 
+    # A second, telemetry-attached parallel run answers what the wall
+    # clock alone cannot: how busy the workers actually were, and whether
+    # the configuration even had the cores its worker count implies.
+    # (Separate run so the telemetry never taints the timed one.)
+    from repro.obs import HarnessTelemetry
+
+    telemetry = HarnessTelemetry()
+    observed = explore_parallel_with(target, telemetry,
+                                     workers=PAR_WORKERS, prune=False,
+                                     **budget)
+    assert (observed.runs, observed.exhausted) == (par.runs, par.exhausted)
+    attribution = telemetry.attribution()
+    cpus = os.cpu_count() or 1
+    oversubscribed = PAR_WORKERS > cpus
+
     payload = {
         "target": "fcfs_resource/monitor",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
         "serial_naive": _stats(naive, naive_s),
         "serial_pruned": _stats(pruned, pruned_s),
-        "parallel": dict(_stats(par, par_s), workers=PAR_WORKERS),
+        "parallel": dict(
+            _stats(par, par_s), workers=PAR_WORKERS,
+            oversubscribed=oversubscribed,
+            effective_workers=attribution["effective_workers"],
+            worker_utilization=attribution["worker_utilization"],
+        ),
         "pruning_ratio": round(naive.runs / pruned.runs, 2),
         "parallel_speedup": round(speedup, 2),
+        "speedup_attribution": attribution,
     }
     persist("exploration", payload)
     emit(
@@ -198,14 +225,19 @@ def test_e14b_engine_throughput():
             ],
         )
         + "\n\npruning ratio {:.2f}x, parallel speedup {:.2f}x "
-        "({} cpu(s))".format(
-            naive.runs / pruned.runs, speedup, os.cpu_count()
-        ),
+        "({} cpu(s), {} effective worker(s), utilization {})".format(
+            naive.runs / pruned.runs, speedup, cpus,
+            attribution["effective_workers"],
+            attribution["worker_utilization"],
+        )
+        + "\n" + attribution["explanation"],
     )
 
-    # The >=2x parallel win needs actual cores; the container may have 1.
-    if (os.cpu_count() or 1) >= 4:
+    # The >=2x parallel win needs actual cores.  An oversubscribed run
+    # (workers > cpus: lanes time-slice, speedup < 1 is the expected
+    # outcome) is recorded as such and exempted from the gate.
+    if not oversubscribed:
         assert speedup >= 2.0, (
-            "expected >=2x schedules/sec with {} workers, got {:.2f}x"
-            .format(PAR_WORKERS, speedup)
+            "expected >=2x schedules/sec with {} workers on {} cpu(s), "
+            "got {:.2f}x".format(PAR_WORKERS, cpus, speedup)
         )

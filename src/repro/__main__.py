@@ -18,12 +18,17 @@ Commands:
 * ``profile``       — run one (problem, mechanism) workload under full
   instrumentation: metrics report, ASCII span timeline, contention bars;
   ``--export chrome --out trace.json`` writes a Perfetto-loadable trace.
+  ``--self`` turns the lens around: cProfile the harness's own
+  exploration loop and print the hotspot list.
 * ``metrics``       — profile every registered pair (filter with
   ``--problem``/``--mechanism``) and tabulate the counters side by side.
 * ``explore``       — exhaustively explore one solution's schedule space
   (``repro explore <problem> <mechanism>``): equivalence-pruned search,
   ``--workers N`` for a parallel frontier, ``--minimize`` to shrink a
   found witness; ``repro explore list`` names the available targets.
+  Harness telemetry: ``--watch`` live progress lines, ``--self-profile``
+  cProfile hotspots, ``--record`` a gateable run-store record,
+  ``--export chrome`` the worker-lane + counter harness track.
 * ``causal``        — happens-before critical path of one (problem,
   mechanism) run: per-segment attribution (exclusion vs priority
   constraints, T1-T6 information types), what-if virtual speedups, the
@@ -33,7 +38,9 @@ Commands:
   (``--baseline path``) and exit nonzero on gated-metric regressions;
   ``--write-baseline path`` records the baseline, ``--inject-delay N``
   injects a synthetic slowdown to prove the gate trips, ``--load`` gates
-  saturation-sweep latency tails (p95/p99) instead of causal profiles.
+  saturation-sweep latency tails (p95/p99) instead of causal profiles,
+  ``--explore`` gates exploration throughput (deterministic schedule
+  count + wall-clock schedules/sec) against an explore baseline.
 * ``synth``         — CEGIS synthesis & repair: diagnose the footnote-3
   anomaly in the verbatim Figure-1 program (minimized witness + causal
   chain), then search the candidate grammar for a minimal synchronizer
@@ -374,6 +381,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         write_jsonl,
     )
 
+    if args.profile_self:
+        return _cmd_profile_self(args)
+    if args.problem is None or args.mechanism is None:
+        print("error: problem and mechanism are required (or use --self "
+              "to profile the harness itself)", file=sys.stderr)
+        return 2
     try:
         report = run_profile(args.problem, args.mechanism, seed=args.seed)
     except KeyError:
@@ -409,6 +422,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_self(args: argparse.Namespace) -> int:
+    """``repro profile --self``: cProfile the harness's own exploration
+    hot loop and print the hotspot list (the scheduler-core refactor's
+    work queue).  Telemetry rides along so phase shares frame the
+    hotspots."""
+    from .explore import explore_parallel, get_target
+    from .obs import HarnessTelemetry, self_profile
+
+    problem = args.problem or "fcfs_resource"
+    mechanism = args.mechanism or "monitor"
+    try:
+        target = get_target(problem, mechanism)
+    except KeyError as bad:
+        print("error: {}".format(bad.args[0]), file=sys.stderr)
+        return 2
+    telemetry = HarnessTelemetry()
+    report = self_profile(
+        lambda: explore_parallel(target, max_runs=args.self_runs,
+                                 max_depth=args.self_depth, prune=True,
+                                 telemetry=telemetry))
+    result = report.value
+    if args.json:
+        print(json.dumps({
+            "problem": problem,
+            "mechanism": mechanism,
+            "runs": result.runs,
+            "pruned": result.pruned,
+            "telemetry": telemetry.to_dict(),
+            "self_profile": report.to_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print("self-profile of explore {}/{} ({} run(s), {} pruned)".format(
+        problem, mechanism, result.runs, result.pruned))
+    print()
+    print(telemetry.render())
+    print()
+    print(report.render())
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .explore import (
         available_targets,
@@ -430,6 +483,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     except KeyError as bad:
         print("error: {}".format(bad.args[0]), file=sys.stderr)
         return 2
+    if args.fast:
+        args.max_runs = min(args.max_runs, 200)
     warm = None
     fp_cache = None
     preloaded = 0
@@ -440,16 +495,54 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         warm = fp_cache.load(args.problem, args.mechanism,
                              max_depth=args.max_depth)
         preloaded = len(warm)
-    result = explore_parallel(
-        target,
-        workers=args.workers,
-        max_runs=args.max_runs,
-        max_depth=args.max_depth,
-        prune=args.prune,
-        seed=args.seed,
-        stop_at_first=args.stop_at_first,
-        warm_seen=warm,
-    )
+    telemetry = None
+    if args.watch or args.export or args.record or args.self_profile:
+        from .obs import HarnessTelemetry
+
+        telemetry = HarnessTelemetry(
+            watch=sys.stderr if args.watch else None)
+
+    def run_search():
+        return explore_parallel(
+            target,
+            workers=args.workers,
+            max_runs=args.max_runs,
+            max_depth=args.max_depth,
+            prune=args.prune,
+            seed=args.seed,
+            stop_at_first=args.stop_at_first,
+            warm_seen=warm,
+            telemetry=telemetry,
+        )
+
+    hotspots = None
+    if args.self_profile:
+        from .obs import self_profile
+
+        hotspots = self_profile(run_search)
+        result = hotspots.value
+    else:
+        result = run_search()
+    if args.record and telemetry is not None:
+        from .obs import RunStore, explore_record
+
+        record = explore_record(args.problem, args.mechanism, result,
+                                telemetry, seed=args.seed)
+        saved_record = RunStore(args.store).save(record)
+        if not args.json:
+            print("explore record saved to " + saved_record)
+    if args.export and telemetry is not None:
+        from .obs import write_chrome_trace, write_jsonl
+
+        out = args.out or ("harness_trace.json" if args.export == "chrome"
+                           else "harness_trace.jsonl")
+        label = "explore {}/{}".format(args.problem, args.mechanism)
+        if args.export == "chrome":
+            write_chrome_trace(out, [], None, label, harness=telemetry)
+        else:
+            write_jsonl(out, [], None, harness=telemetry)
+        if not args.json:
+            print("wrote {} harness trace to {}".format(args.export, out))
     if fp_cache is not None and warm is not None:
         fp_cache.save(args.problem, args.mechanism, warm,
                       max_depth=args.max_depth,
@@ -479,6 +572,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 "new_states": result.states,
                 "persisted": result.exhausted,
             }
+        if telemetry is not None:
+            payload["telemetry"] = telemetry.to_dict()
+        if hotspots is not None:
+            payload["self_profile"] = hotspots.to_dict()
         if minimized is not None:
             payload["minimized"] = {
                 "decisions": list(minimized.minimized),
@@ -495,6 +592,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         result.states,
         "exhausted" if result.exhausted else "budget hit",
     ))
+    if telemetry is not None:
+        print()
+        print(telemetry.render())
+    if hotspots is not None:
+        print()
+        print(hotspots.render())
     if fp_cache is not None:
         print("fingerprint cache: {} key(s) preloaded, {} new, {}".format(
             preloaded, result.states,
@@ -621,6 +724,8 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     from .obs.runstore import load_tail_record
     from .problems.registry import solutions_for
 
+    from .obs.harness import EXPLORE_RECORD_PREFIX
+
     load_counts = [int(c) for c in args.load_clients.split(",") if c.strip()]
 
     def tail_record(mechanism, seed):
@@ -629,6 +734,25 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         points = saturation_curve(mechanism, load_counts,
                                   seed=seed if seed is not None else 0)
         return load_tail_record(mechanism, points, seed=seed)
+
+    def explore_rec(problem, mechanism, seed):
+        from .explore import explore_parallel, get_target
+        from .obs import HarnessTelemetry, explore_record
+
+        telemetry = HarnessTelemetry()
+        result = explore_parallel(
+            get_target(problem, mechanism),
+            max_runs=args.explore_runs, max_depth=args.explore_depth,
+            prune=True, seed=seed, telemetry=telemetry)
+        return explore_record(problem, mechanism, result, telemetry,
+                              seed=seed)
+
+    def explore_targets():
+        for spec in args.explore_target.split(","):
+            spec = spec.strip()
+            if spec:
+                problem, __, mechanism = spec.partition("/")
+                yield problem, mechanism
 
     if args.write_baseline:
         records = []
@@ -639,6 +763,9 @@ def _cmd_regress(args: argparse.Namespace) -> int:
                           else list(LOAD_MECHANISMS))
             for mechanism in mechanisms:
                 records.append(tail_record(mechanism, args.seed))
+        elif args.explore:
+            for problem, mechanism in explore_targets():
+                records.append(explore_rec(problem, mechanism, args.seed))
         else:
             for entry in solutions_for(args.problem, args.mechanism):
                 if entry.problem not in WORKLOADS:
@@ -658,6 +785,9 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     baseline = load_baseline(args.baseline)
     if args.load:
         baseline = [r for r in baseline if r.problem == "load_tail"]
+    if args.explore:
+        baseline = [r for r in baseline
+                    if r.problem.startswith(EXPLORE_RECORD_PREFIX)]
     if args.problem or args.mechanism:
         baseline = [
             r for r in baseline
@@ -676,6 +806,10 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         try:
             if base.problem == "load_tail":
                 current = tail_record(base.mechanism, base.seed)
+            elif base.problem.startswith(EXPLORE_RECORD_PREFIX):
+                current = explore_rec(
+                    base.problem[len(EXPLORE_RECORD_PREFIX):],
+                    base.mechanism, base.seed)
             else:
                 current = run_causal(
                     base.problem, base.mechanism, seed=base.seed,
@@ -842,8 +976,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof = sub.add_parser(
         "profile", help="instrumented run of one (problem, mechanism) pair"
     )
-    p_prof.add_argument("problem")
-    p_prof.add_argument("mechanism")
+    p_prof.add_argument("problem", nargs="?", default=None)
+    p_prof.add_argument("mechanism", nargs="?", default=None)
+    p_prof.add_argument("--self", dest="profile_self", action="store_true",
+                        help="cProfile the harness's own exploration loop "
+                        "(default target fcfs_resource/monitor) and print "
+                        "the hotspot list")
+    p_prof.add_argument("--self-runs", type=int, default=400,
+                        help="schedule budget for --self (default 400)")
+    p_prof.add_argument("--self-depth", type=int, default=48,
+                        help="branching horizon for --self (default 48)")
     p_prof.add_argument("--export", choices=("chrome", "jsonl"), default=None,
                         help="also write the trace in this format")
     p_prof.add_argument("--out", default=None,
@@ -920,6 +1062,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_reg.add_argument("--load-clients", default="8,32", metavar="N,N",
                        help="sweep populations for --load (default 8,32; "
                        "the largest is the gated tail point)")
+    p_reg.add_argument("--explore", action="store_true",
+                       help="gate exploration throughput instead: rebuild "
+                       "each explore: baseline record (schedule count is "
+                       "deterministic; schedules/sec is wall-clock, so pair "
+                       "with a generous --threshold in CI)")
+    p_reg.add_argument("--explore-target", default="fcfs_resource/monitor",
+                       metavar="P/M[,P/M...]",
+                       help="explore targets for --write-baseline "
+                       "(default fcfs_resource/monitor)")
+    p_reg.add_argument("--explore-runs", type=int, default=2000,
+                       help="schedule budget per explore target "
+                       "(default 2000)")
+    p_reg.add_argument("--explore-depth", type=int, default=60,
+                       help="branching horizon per explore target "
+                       "(default 60)")
     p_reg.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_reg.set_defaults(func=_cmd_regress)
@@ -955,6 +1112,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--fp-cache", action="store_true",
                        help="warm-start from (and persist to) the "
                        "cross-run fingerprint cache in the run store")
+    p_exp.add_argument("--watch", action="store_true",
+                       help="periodic progress lines on stderr "
+                       "(schedules/sec, frontier, pruning ratio, ETA; "
+                       "non-tty-safe) plus a final telemetry report")
+    p_exp.add_argument("--fast", action="store_true",
+                       help="CI smoke mode: cap the budget at 200 runs")
+    p_exp.add_argument("--self-profile", dest="self_profile",
+                       action="store_true",
+                       help="run the search under cProfile and print the "
+                       "hotspot list (~2x slower; see also "
+                       "'repro profile --self')")
+    p_exp.add_argument("--record", action="store_true",
+                       help="persist an explore record (schedules/sec + "
+                       "phase seconds) to the run store for "
+                       "'repro regress --explore'")
+    p_exp.add_argument("--store", default=RUNS_DIR,
+                       help="run-store directory for --record "
+                       "(default: {})".format(RUNS_DIR))
+    p_exp.add_argument("--export", choices=("chrome", "jsonl"), default=None,
+                       help="write the harness telemetry track "
+                       "(worker lanes + counters) in this format")
+    p_exp.add_argument("--out", default=None,
+                       help="export path (default: harness_trace.json[l])")
     p_exp.add_argument("--json", action="store_true",
                        help="machine-readable output")
     p_exp.set_defaults(func=_cmd_explore)

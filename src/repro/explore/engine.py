@@ -21,6 +21,7 @@ so both searches prune identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from ..runtime.policies import ScriptedPolicy
@@ -54,6 +55,58 @@ class RecordingPolicy(ScriptedPolicy):
         super().reset()
         self.fingerprints = []
         self.ready_pids = []
+
+
+class TimedRecordingPolicy(RecordingPolicy):
+    """A :class:`RecordingPolicy` that additionally accumulates the wall
+    clock spent inside :meth:`observe_state` — i.e. in canonical-state
+    fingerprint hashing — so harness telemetry can attribute fingerprint
+    time separately from scheduler stepping.  Decisions are identical to
+    the untimed policy (timing is passive), which is what keeps
+    telemetry-on results byte-identical to telemetry-off ones."""
+
+    def __init__(self, decisions: Optional[Sequence[int]] = None) -> None:
+        super().__init__(decisions)
+        self.fp_seconds = 0.0
+
+    def observe_state(self, sched) -> None:
+        start = perf_counter()
+        super().observe_state(sched)
+        self.fp_seconds += perf_counter() - start
+
+    def reset(self) -> None:
+        super().reset()
+        self.fp_seconds = 0.0
+
+
+def run_one_timed(
+    build_and_run: BuildAndRun,
+    prefix: Sequence[int],
+    check: Checker,
+    prune: bool,
+    telemetry,
+) -> RunRecord:
+    """Execute one schedule with phase-attributed wall-clock accounting.
+
+    Shared by the serial engine and the parallel frontier's in-process
+    path so both attribute identically: ``step`` (scheduler stepping,
+    fingerprint time subtracted), ``fingerprint``, ``check`` (oracle
+    battery), ``record`` (RunRecord reduction).
+    """
+    policy = TimedRecordingPolicy(prefix) if prune else ScriptedPolicy(prefix)
+    start = perf_counter()
+    run = build_and_run(policy)
+    ran = perf_counter()
+    messages = check(run)
+    checked = perf_counter()
+    record = RunRecord.from_run(prefix, policy, messages)
+    reduced = perf_counter()
+    fp_seconds = getattr(policy, "fp_seconds", 0.0)
+    telemetry.add("step", max(0.0, (ran - start) - fp_seconds))
+    telemetry.add("fingerprint", fp_seconds)
+    telemetry.add("check", checked - ran)
+    telemetry.add("record", reduced - checked)
+    return record
 
 
 @dataclass(frozen=True)
@@ -183,6 +236,14 @@ class ExplorationEngine:
             :meth:`Scheduler.add_fingerprint_provider`; mechanism state is
             always captured.  Off by default for drop-in compatibility with
             the naive DFS.
+        telemetry: optional :class:`~repro.obs.harness.HarnessTelemetry`
+            receiving phase-attributed wall-clock accounting and progress
+            counters.  Duck-typed (the explore package never imports obs):
+            a sink whose class sets ``IS_NULL = True`` is normalized to
+            ``None`` here, so an unobserved search executes the identical
+            code path and pays only one ``is not None`` test per run.
+            Telemetry is passive — results are byte-identical with or
+            without it.
     """
 
     def __init__(
@@ -191,11 +252,15 @@ class ExplorationEngine:
         max_runs: int = 2000,
         max_depth: int = 60,
         prune: bool = False,
+        telemetry=None,
     ) -> None:
         self._build_and_run = build_and_run
         self.max_runs = max_runs
         self.max_depth = max_depth
         self.prune = prune
+        if telemetry is not None and getattr(telemetry, "IS_NULL", False):
+            telemetry = None
+        self.telemetry = telemetry
 
     def run_one(self, prefix: Sequence[int], check: Checker) -> RunRecord:
         """Execute a single schedule and reduce it to a :class:`RunRecord`."""
@@ -230,22 +295,36 @@ class ExplorationEngine:
         else:
             seen = None
         preloaded = len(seen) if seen is not None else 0
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.begin(max_runs=self.max_runs, workers=1)
         while frontier:
             if result.runs >= self.max_runs:
                 result.exhausted = False
                 break
             prefix = frontier.pop()
-            record = self.run_one(prefix, check)
+            if telemetry is None:
+                record = self.run_one(prefix, check)
+            else:
+                record = run_one_timed(self._build_and_run, prefix, check,
+                                       self.prune, telemetry)
             result.runs += 1
             if record.messages:
                 result.violations.append((record.taken, list(record.messages)))
                 if stop_at_first:
                     result.exhausted = not frontier
                     break
+            mark = perf_counter() if telemetry is not None else 0.0
             children, pruned = expand_record(record, self.max_depth, seen)
             result.pruned += pruned
             frontier.extend(children)
+            if telemetry is not None:
+                telemetry.note_progress(result.runs, len(frontier),
+                                        result.pruned)
+                telemetry.add("collect", perf_counter() - mark)
         result.states = len(seen) - preloaded if seen is not None else 0
+        if telemetry is not None:
+            telemetry.finish()
         return result
 
     def find_schedule(self, predicate: Checker) -> Optional[Tuple[int, ...]]:

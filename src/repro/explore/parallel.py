@@ -35,10 +35,20 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
+import pickle
+from time import perf_counter
 from typing import List, Optional, Set, Tuple
 
 from ..runtime.policies import ScriptedPolicy
-from .engine import ExplorationResult, PruneKey, RecordingPolicy, RunRecord, expand_record
+from .engine import (
+    ExplorationResult,
+    PruneKey,
+    RecordingPolicy,
+    RunRecord,
+    expand_record,
+    run_one_timed,
+)
 from .targets import ExplorationTarget, get_target
 
 #: Per-worker state, installed by :func:`_init_worker` after the fork/spawn.
@@ -65,6 +75,22 @@ def _execute_in_worker(prefix: Tuple[int, ...]) -> RunRecord:
     return _execute(_WORKER["target"], prefix, _WORKER["prune"])
 
 
+def _execute_in_worker_timed(
+    prefix: Tuple[int, ...],
+) -> Tuple[RunRecord, Tuple[int, float, float, int]]:
+    """Telemetry variant: the record plus ``(worker pid, start, end,
+    pickled-record bytes)``.  Timestamps are raw ``perf_counter`` readings
+    — system-wide monotonic under the fork context, so the master can
+    place them on its own timeline.  The record itself is identical to
+    :func:`_execute_in_worker`'s (timing is passive), preserving
+    worker-count- and telemetry-independence of results."""
+    start = perf_counter()
+    record = _execute(_WORKER["target"], prefix, _WORKER["prune"])
+    end = perf_counter()
+    result_bytes = len(pickle.dumps(record, pickle.HIGHEST_PROTOCOL))
+    return record, (os.getpid(), start, end, result_bytes)
+
+
 def _wave_key(seed: Optional[int]):
     """Sort key for a wave.  ``None`` = canonical lexicographic order;
     an integer seed shuffles deterministically (hash of seed + prefix), so
@@ -89,6 +115,7 @@ def explore_parallel(
     seed: Optional[int] = None,
     stop_at_first: bool = False,
     warm_seen: Optional[Set[PruneKey]] = None,
+    telemetry=None,
 ) -> ExplorationResult:
     """Explore ``target``'s schedule space with ``workers`` processes.
 
@@ -111,6 +138,12 @@ def explore_parallel(
             place so the caller can persist the union afterwards.  Only
             meaningful with ``prune=True``; ``result.states`` counts only
             keys claimed by this search.
+        telemetry: optional :class:`~repro.obs.harness.HarnessTelemetry`
+            receiving phase accounting, wave stats, and the per-worker
+            utilization timeline.  Duck-typed null path exactly as in
+            :class:`~repro.explore.engine.ExplorationEngine`: a sink with
+            ``IS_NULL = True`` (or ``None``) costs nothing, and telemetry
+            never changes the :class:`ExplorationResult`.
 
     Returns:
         An :class:`ExplorationResult` identical for any ``workers`` value.
@@ -120,6 +153,8 @@ def explore_parallel(
             "a checker override cannot be shipped to worker processes; "
             "use workers=1 or register a named target"
         )
+    if telemetry is not None and getattr(telemetry, "IS_NULL", False):
+        telemetry = None
     result = ExplorationResult()
     frontier: List[Tuple[int, ...]] = [()]
     seen: Optional[Set[PruneKey]]
@@ -140,8 +175,12 @@ def explore_parallel(
             initializer=_init_worker,
             initargs=(target.problem, target.mechanism, prune),
         )
+    if telemetry is not None:
+        telemetry.begin(max_runs=max_runs, workers=workers)
+    checker = check if check is not None else target.checker
     try:
         while frontier:
+            mark = perf_counter() if telemetry is not None else 0.0
             frontier.sort(key=key)
             budget = max_runs - result.runs
             if budget <= 0:
@@ -152,7 +191,38 @@ def explore_parallel(
                 result.exhausted = False  # budget will run out next round
             if pool is not None:
                 chunk = max(1, len(wave) // (workers * 4))
-                records = pool.map(_execute_in_worker, wave, chunksize=chunk)
+                if telemetry is not None:
+                    arg_bytes = sum(
+                        len(pickle.dumps(prefix, pickle.HIGHEST_PROTOCOL))
+                        for prefix in wave)
+                    telemetry.add("dispatch", perf_counter() - mark)
+                    dispatch_ts = perf_counter()
+                    timed = pool.map(_execute_in_worker_timed, wave,
+                                     chunksize=chunk)
+                    wave_seconds = perf_counter() - dispatch_ts
+                    telemetry.add("execute", wave_seconds)
+                    telemetry.note_wave(size=len(wave), chunk=chunk,
+                                        arg_bytes=arg_bytes,
+                                        seconds=wave_seconds)
+                    records = []
+                    for prefix, (record, stats) in zip(wave, timed):
+                        worker, start, end, result_bytes = stats
+                        telemetry.note_worker_item(
+                            worker=worker, start=start, end=end,
+                            dispatch_ts=dispatch_ts,
+                            result_bytes=result_bytes,
+                            prefix_len=len(prefix))
+                        records.append(record)
+                else:
+                    records = pool.map(_execute_in_worker, wave,
+                                       chunksize=chunk)
+            elif telemetry is not None:
+                telemetry.add("dispatch", perf_counter() - mark)
+                records = [
+                    run_one_timed(target.build_and_run, prefix, checker,
+                                  prune, telemetry)
+                    for prefix in wave
+                ]
             elif check is None:
                 records = [_execute(target, prefix, prune) for prefix in wave]
             else:
@@ -163,6 +233,7 @@ def explore_parallel(
                     run = target.build_and_run(policy)
                     records.append(RunRecord.from_run(prefix, policy,
                                                       check(run)))
+            mark = perf_counter() if telemetry is not None else 0.0
             stopped_at = None
             children: List[Tuple[int, ...]] = []
             for index, record in enumerate(records):
@@ -177,6 +248,10 @@ def explore_parallel(
                 expanded, pruned = expand_record(record, max_depth, seen)
                 result.pruned += pruned
                 children.extend(expanded)
+            if telemetry is not None:
+                telemetry.note_progress(
+                    result.runs, len(frontier) + len(children), result.pruned)
+                telemetry.add("collect", perf_counter() - mark)
             if stopped_at is not None:
                 # Covered iff nothing is left anywhere: no children, no
                 # leftover frontier, and the violating record closed its wave.
@@ -189,5 +264,7 @@ def explore_parallel(
         if pool is not None:
             pool.close()
             pool.join()
+        if telemetry is not None:
+            telemetry.finish()
     result.states = len(seen) - preloaded if seen is not None else 0
     return result

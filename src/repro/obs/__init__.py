@@ -41,6 +41,18 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
 )
+from .harness import (
+    PHASES,
+    HarnessTelemetry,
+    Hotspot,
+    HotspotReport,
+    NullHarnessTelemetry,
+    WaveStat,
+    WorkerItem,
+    explore_record,
+    normalize_telemetry,
+    self_profile,
+)
 from .metrics import Histogram, ObjectMetrics, RunMetrics, compute_metrics
 from .profiles import (
     WORKLOADS,
@@ -139,4 +151,14 @@ __all__ = [
     "PartitionRecoveryMetrics",
     "partition_recovery_spans",
     "compute_partition_mttr",
+    "PHASES",
+    "HarnessTelemetry",
+    "NullHarnessTelemetry",
+    "WorkerItem",
+    "WaveStat",
+    "normalize_telemetry",
+    "explore_record",
+    "Hotspot",
+    "HotspotReport",
+    "self_profile",
 ]

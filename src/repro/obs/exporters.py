@@ -49,6 +49,7 @@ def chrome_trace(
     trace: Optional[Trace] = None,
     run_label: str = "repro",
     critical: Optional[Sequence] = None,
+    harness: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Build the Chrome trace-event dict (``{"traceEvents": [...]}``).
 
@@ -58,6 +59,16 @@ def chrome_trace(
     the largest process id), and every ordinary span that overlaps a
     critical segment gains ``args.critical = True`` so the path is
     highlightable in Perfetto.
+
+    ``harness`` takes a :class:`~repro.obs.harness.HarnessTelemetry`
+    (duck-typed): its counter samples become ``ph: "C"`` events
+    (schedules/sec, frontier depth, pruning ratio) on a ``harness`` track
+    and each :class:`~repro.obs.harness.WorkerItem` becomes a complete
+    event on a ``worker <pid>`` lane.  Caveat: harness timestamps are
+    **wall-clock seconds since the telemetry epoch** (exported as µs),
+    not the seq axis the mechanism tracks use — meaningful on its own
+    (``repro explore --export chrome`` passes empty spans) or as a
+    separate clock domain alongside a profiled run.
     """
     events: List[Dict[str, Any]] = []
     seen_tids: Dict[int, str] = {}
@@ -150,6 +161,48 @@ def chrome_trace(
                 "args": {"detail": str(ev.detail)},
             })
 
+    if harness is not None:
+        harness_tid = extra_tid + 1  # past the (possibly unused) net lane
+        seen_tids.setdefault(harness_tid, "harness")
+        for t, runs, frontier, pruned in harness_counter_samples(harness):
+            ts = int(round(t * 1_000_000))
+            total = runs + pruned
+            for counter, value in (
+                ("schedules/sec", round(runs / t, 1) if t > 0 else 0),
+                ("frontier depth", frontier),
+                ("pruning ratio", round(pruned / total, 4) if total else 0),
+            ):
+                events.append({
+                    "name": counter,
+                    "cat": "harness",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": harness_tid,
+                    "args": {counter: value},
+                })
+        worker_tids: Dict[int, int] = {}
+        for item in getattr(harness, "worker_items", ()):
+            tid = worker_tids.get(item.worker)
+            if tid is None:
+                tid = harness_tid + 1 + len(worker_tids)
+                worker_tids[item.worker] = tid
+                seen_tids.setdefault(tid, "worker %d" % item.worker)
+            events.append({
+                "name": "schedule len=%d" % item.prefix_len,
+                "cat": "harness",
+                "ph": "X",
+                "ts": int(round(item.start * 1_000_000)),
+                "dur": max(int(round(item.busy * 1_000_000)), 1),
+                "pid": 0,
+                "tid": tid,
+                "args": {
+                    "queue_wait_us": int(round(item.queue_wait * 1_000_000)),
+                    "result_bytes": item.result_bytes,
+                    "prefix_len": item.prefix_len,
+                },
+            })
+
     metadata: List[Dict[str, Any]] = [{
         "name": "process_name",
         "ph": "M",
@@ -171,23 +224,36 @@ def chrome_trace(
     }
 
 
+def harness_counter_samples(harness: Any):
+    """The telemetry's ``(t, runs, frontier, pruned)`` counter samples,
+    skipping the t=0 degenerates (no rate is computable there)."""
+    for t, runs, frontier, pruned in getattr(harness, "samples", ()):
+        if t <= 0:
+            continue
+        yield t, runs, frontier, pruned
+
+
 def write_chrome_trace(
     path: str,
     spans: Sequence[Span],
     trace: Optional[Trace] = None,
     run_label: str = "repro",
     critical: Optional[Sequence] = None,
+    harness: Optional[Any] = None,
 ) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(spans, trace, run_label, critical=critical),
+        json.dump(chrome_trace(spans, trace, run_label, critical=critical,
+                               harness=harness),
                   fh, indent=1)
 
 
 def jsonl_lines(
     spans: Sequence[Span],
     trace: Optional[Trace] = None,
+    harness: Optional[Any] = None,
 ) -> Iterable[str]:
-    """One JSON record per line: spans first, then raw events."""
+    """One JSON record per line: spans first, then raw events, then (when
+    ``harness`` is given) one ``counter`` record per telemetry sample."""
     for span in spans:
         record = span.to_dict()
         record["record"] = "span"
@@ -197,10 +263,25 @@ def jsonl_lines(
             record = ev.to_dict()
             record["record"] = "event"
             yield json.dumps(record, default=str)
+    if harness is not None:
+        for t, runs, frontier, pruned in harness_counter_samples(harness):
+            total = runs + pruned
+            yield json.dumps({
+                "record": "counter",
+                "t": round(t, 6),
+                "runs": runs,
+                "frontier": frontier,
+                "pruned": pruned,
+                "schedules_per_sec": round(runs / t, 1),
+                "pruning_ratio": round(pruned / total, 4) if total else 0.0,
+            })
 
 
-def parse_jsonl(lines: Iterable[str]):
-    """Inverse of :func:`jsonl_lines`: rebuild ``(spans, events)``.
+def parse_jsonl(lines: Iterable[str], with_counters: bool = False):
+    """Inverse of :func:`jsonl_lines`: rebuild ``(spans, events)`` — or
+    ``(spans, events, counters)`` with ``with_counters=True``, where
+    counters are the harness telemetry sample dicts (back-compat: the
+    default stays a 2-tuple and silently drops counter records).
 
     Round-trips exactly for JSON-representable details; a detail that was
     stringified on export stays a string (the exporter's ``default=str``
@@ -210,6 +291,7 @@ def parse_jsonl(lines: Iterable[str]):
 
     spans: List[Span] = []
     events: List[Event] = []
+    counters: List[Dict[str, Any]] = []
     for line in lines:
         line = line.strip()
         if not line:
@@ -218,8 +300,12 @@ def parse_jsonl(lines: Iterable[str]):
         what = record.pop("record", "span")
         if what == "span":
             spans.append(Span.from_dict(record))
+        elif what == "counter":
+            counters.append(record)
         else:
             events.append(Event.from_dict(record))
+    if with_counters:
+        return spans, events, counters
     return spans, events
 
 
@@ -227,9 +313,10 @@ def write_jsonl(
     path: str,
     spans: Sequence[Span],
     trace: Optional[Trace] = None,
+    harness: Optional[Any] = None,
 ) -> None:
     with open(path, "w") as fh:
-        for line in jsonl_lines(spans, trace):
+        for line in jsonl_lines(spans, trace, harness=harness):
             fh.write(line + "\n")
 
 

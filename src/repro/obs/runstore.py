@@ -38,8 +38,9 @@ RUNSTORE_SCHEMA = 1
 #: Default location, relative to the working directory.
 DEFAULT_ROOT = os.path.join(".repro", "runs")
 
-#: Metrics the gate watches: record key -> (direction, meaning).  Direction
-#: ``+`` means an *increase* is a regression.
+#: Metrics the gate watches: record key -> direction.  Direction ``+``
+#: means an *increase* is a regression (costs: makespan, blocked ticks);
+#: ``-`` means a *decrease* is (rates: exploration throughput).
 GATED_METRICS: Dict[str, str] = {
     "makespan": "+",
     "path_blocked_ticks": "+",
@@ -50,6 +51,11 @@ GATED_METRICS: Dict[str, str] = {
     # records leave them None and the gate skips them.
     "latency_p95": "+",
     "latency_p99": "+",
+    # Exploration throughput from `repro regress --explore` (harness
+    # telemetry).  Wall-clock and therefore machine-dependent — gate it
+    # with a generous threshold; the deterministic companion is ``steps``
+    # (= schedules executed, any growth means pruning regressed).
+    "schedules_per_sec": "-",
 }
 
 
@@ -78,6 +84,11 @@ class RunRecord:
     #: and the gate skips a metric either side lacks).
     latency_p95: Optional[int] = None
     latency_p99: Optional[int] = None
+    #: Harness-telemetry fields (`explore:` records only).  The throughput
+    #: is gated (direction ``-``); the phase breakdown is persisted for
+    #: diffing but never gated (wall-clock noise per phase is too high).
+    schedules_per_sec: Optional[int] = None
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @property
     def key(self) -> str:
@@ -112,6 +123,12 @@ class RunRecord:
             data["latency_p95"] = self.latency_p95
         if self.latency_p99 is not None:
             data["latency_p99"] = self.latency_p99
+        if self.schedules_per_sec is not None:
+            data["schedules_per_sec"] = self.schedules_per_sec
+        if self.phase_seconds is not None:
+            data["phase_seconds"] = {
+                k: round(float(v), 6)
+                for k, v in sorted(self.phase_seconds.items())}
         return data
 
     @classmethod
@@ -132,9 +149,12 @@ class RunRecord:
         record.blocked_by_object = dict(data.get("blocked_by_object", {}))
         record.speedups = {k: dict(v)
                            for k, v in data.get("speedups", {}).items()}
-        for attr in ("latency_p95", "latency_p99"):
+        for attr in ("latency_p95", "latency_p99", "schedules_per_sec"):
             if data.get(attr) is not None:
                 setattr(record, attr, int(data[attr]))
+        if data.get("phase_seconds") is not None:
+            record.phase_seconds = {k: float(v) for k, v in
+                                    data["phase_seconds"].items()}
         return record
 
     # ------------------------------------------------------------------
@@ -409,9 +429,10 @@ def compare_records(
 ) -> List[Regression]:
     """Regressions of ``current`` against ``baseline`` (same key).
 
-    A gated metric regresses when it *increased* by more than
-    ``threshold_pct`` percent (and by at least 2 ticks absolute, so
-    single-tick jitter on tiny workloads never trips the gate).
+    A gated metric regresses when it moved in its bad direction (``+``
+    metrics grew, ``-`` metrics shrank — see :data:`GATED_METRICS`) by
+    more than ``threshold_pct`` percent and by at least 2 units absolute,
+    so single-tick jitter on tiny workloads never trips the gate.
     """
     regressions = []
     for metric in sorted(GATED_METRICS):
@@ -423,10 +444,12 @@ def compare_records(
             continue
         base = int(base_raw)
         cur = int(cur_raw)
-        if cur <= base:
+        # Signed move in the regression direction: positive = got worse.
+        worse = (cur - base) if GATED_METRICS[metric] == "+" else (base - cur)
+        if worse <= 0:
             continue
-        grew_pct = (100.0 * (cur - base) / base) if base else float("inf")
-        if grew_pct > threshold_pct and (cur - base) >= 2:
+        grew_pct = (100.0 * worse / base) if base else float("inf")
+        if grew_pct > threshold_pct and worse >= 2:
             regressions.append(Regression(baseline.key, metric, base, cur))
     return regressions
 
@@ -446,6 +469,11 @@ def render_comparison(
             row += "   p95 %d (%d)  p99 %d (%d)" % (
                 cur.latency_p95, base.latency_p95,
                 cur.latency_p99 or 0, base.latency_p99 or 0)
+        if (cur.schedules_per_sec is not None
+                and base.schedules_per_sec is not None):
+            row += "   runs %d (%d)  sched/s %d (%d)" % (
+                cur.steps, base.steps,
+                cur.schedules_per_sec, base.schedules_per_sec)
         lines.append(row)
     if regressions:
         lines.append("")
