@@ -41,6 +41,11 @@ Commands:
   saturation-sweep latency tails (p95/p99) instead of causal profiles,
   ``--explore`` gates exploration throughput (deterministic schedule
   count + wall-clock schedules/sec) against an explore baseline.
+* ``resilience``    — combined-fault table (experiment E22): crash-restart
+  nodes under partitions at 5-node clusters, fenced vs unfenced, with
+  MTTR and availability per cell; ``--search`` runs the joint
+  crash×partition fault-plan search (ddmin-minimized mixed witness, then
+  the same faults replayed with fencing on).
 * ``synth``         — CEGIS synthesis & repair: diagnose the footnote-3
   anomaly in the verbatim Figure-1 program (minimized witness + causal
   chain), then search the candidate grammar for a minimal synchronizer
@@ -214,6 +219,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 {
                     "name": r.name,
                     "runs": r.runs,
+                    "mttr_failover": r.mttr_failover,
+                    "mttr_post_heal": r.mttr_post_heal,
                     "plans": [
                         {
                             "plan": o.plan_name,
@@ -247,6 +254,71 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         return 1
     print("\nno split brain on any explored schedule; classifications "
           "match the partition model (DESIGN.md §12)")
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .resilience import (resilience_report, search_restart_witness)
+
+    results, table = resilience_report(fast=args.fast)
+    surprises = [s for r in results for s in r.surprises]
+    violations = [v for r in results for v in r.violations]
+    # The unfenced cell *documents* a split-brain; its violations are the
+    # expected evidence, not a gate failure — gating is on surprises.
+    witness = fenced_label = None
+    if args.search:
+        witness, fenced_label = search_restart_witness()
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "cluster": r.cluster,
+                    "runs": r.runs,
+                    "mttr_failover": r.mttr_failover,
+                    "mttr_post_heal": r.mttr_post_heal,
+                    "availability": r.availability,
+                    "cells": [
+                        {
+                            "cell": o.cell_name,
+                            "faults": o.faults,
+                            "expected": o.expected,
+                            "runs": o.runs,
+                            "restarts": o.restarts,
+                            "split_brain": o.split_brain,
+                            "wedged": o.wedged,
+                            "tolerant": o.tolerant,
+                            "violations": o.violations,
+                            "mttr_failover": o.mttr_failover,
+                            "mttr_post_heal": o.mttr_post_heal,
+                            "availability": o.availability,
+                            "message_stats": o.message_stats,
+                            "classification": o.classification,
+                        }
+                        for o in r.outcomes
+                    ],
+                }
+                for r in results
+            ],
+            "surprises": surprises,
+        }
+        if witness is not None:
+            payload["search"] = witness.to_dict()
+            payload["search"]["fenced_replay"] = fenced_label
+        print(json.dumps(payload, indent=2))
+        return 1 if surprises else 0
+    print(table)
+    if witness is not None:
+        print("\nJoint fault-plan search ({} plan(s) tried, {} ddmin "
+              "test(s)):".format(witness.tried, witness.minimize_tests))
+        print("  " + witness.describe())
+        if fenced_label:
+            print("  same faults with fencing on: " + fenced_label)
+    if surprises:
+        print("\nUNEXPECTED:", *surprises, sep="\n  ")
+        return 1
+    print("\nall combined-fault classifications match the resilience "
+          "model (DESIGN.md §16)")
     return 0
 
 
@@ -936,6 +1008,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--json", action="store_true",
                         help="machine-readable output")
     p_part.set_defaults(func=_cmd_partition)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="combined-fault table: crash-restart × partition at 5-node "
+             "clusters, with fencing, MTTR, and availability (E22)",
+    )
+    p_res.add_argument("--fast", action="store_true",
+                       help="one schedule per cell (CI smoke)")
+    p_res.add_argument("--search", action="store_true",
+                       help="joint crash×partition fault-plan search "
+                            "against the unfenced restart lock "
+                            "(ddmin-minimized witness + fenced replay)")
+    p_res.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_load = sub.add_parser(
         "load",

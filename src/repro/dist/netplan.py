@@ -24,7 +24,7 @@ Network` maps each sending process to its node, and a rule's ``src`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 #: Verdict actions a send can receive, in the order they are applied.
 DELIVER = "deliver"
@@ -59,6 +59,23 @@ class NetFault:
             return "delay message #{} on {} by {} ticks".format(
                 self.nth, link, self.ticks)
         return "reorder message #{} on {}".format(self.nth, link)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Portable form (runtime state — ``fired`` — excluded)."""
+        out: Dict[str, Any] = {
+            "action": self.action, "src": self.src, "dst": self.dst,
+            "nth": self.nth,
+        }
+        if self.action == DELAY:
+            out["ticks"] = self.ticks
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NetFault":
+        return cls(
+            action=data["action"], src=data["src"], dst=data["dst"],
+            nth=int(data.get("nth", 1)), ticks=int(data.get("ticks", 0)),
+        )
 
 
 @dataclass
@@ -102,6 +119,26 @@ class PartitionRule:
                   else "heals at t={}".format(self.heal_at))
         return "partition {{{}}} | {{{}}} at t={} ({})".format(
             left, right, self.at, healed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Portable form (announce/heal runtime flags excluded).  Sides are
+        sorted lists so equal rules serialize identically."""
+        return {
+            "side_a": sorted(self.side_a),
+            "side_b": None if self.side_b is None else sorted(self.side_b),
+            "at": self.at,
+            "heal_at": self.heal_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PartitionRule":
+        side_b = data.get("side_b")
+        return cls(
+            side_a=frozenset(data["side_a"]),
+            side_b=None if side_b is None else frozenset(side_b),
+            at=int(data.get("at", 0)),
+            heal_at=data.get("heal_at"),
+        )
 
 
 class NetPlan:
@@ -240,6 +277,28 @@ class NetPlan:
         partition."""
         return ([f.describe() for f in self.faults]
                 + [p.describe() for p in self.partitions])
+
+    # ------------------------------------------------------------------
+    # Serialization (run store / witness persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-portable form of the *script* (no runtime state): a plan
+        round-trips through ``NetPlan.from_dict(plan.to_dict())`` into an
+        exactly-replayable equal script — what lets minimized combined
+        witnesses be persisted and replayed."""
+        return {
+            "faults": [f.to_dict() for f in self.faults],
+            "partitions": [p.to_dict() for p in self.partitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NetPlan":
+        plan = cls()
+        plan.faults = [
+            NetFault.from_dict(f) for f in data.get("faults", [])]
+        plan.partitions = [
+            PartitionRule.from_dict(p) for p in data.get("partitions", [])]
+        return plan
 
     def __repr__(self) -> str:
         return "<NetPlan [{}]>".format("; ".join(self.describe()))

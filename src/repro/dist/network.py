@@ -76,6 +76,17 @@ class NetChannel(Channel):
         self._users.discard(proc.pid)
         return None
 
+    def drain(self) -> int:
+        """Discard every queued-but-undelivered message; returns how many
+        were dropped.  The rejoin *quarantine* discipline: a restarted
+        node's first incarnation may have left half-consumed conversation
+        in its inbox, and replaying it to the fresh incarnation would hand
+        volatile protocol state across the restart boundary."""
+        dropped = len(self._buffer)
+        if dropped:
+            self._buffer.clear()
+        return dropped
+
 
 class Network:
     """Per-node mailboxes, a sender→node map, and the fault interposer.

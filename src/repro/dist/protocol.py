@@ -73,18 +73,28 @@ class Node:
         network: the message substrate.
         node_id: this participant's node name (also its inbox address).
         peers: the other nodes it talks to (used by :meth:`broadcast`).
+        store: optional :class:`~repro.resilience.durable.
+            DurableNamespace`.  When given, the sequence stamp is
+            *durable*: a restarted incarnation resumes stamping past its
+            predecessor's last stamp, so peers' ``(src, seq)`` dedup keys
+            never collide across a restart.  The dedup set and pending
+            buffer stay volatile — in-flight protocol state dies with the
+            process, which is the restart semantics the resilience layer
+            studies.
 
     The owning process should be assigned to ``node_id`` via
     :meth:`Network.assign` (done automatically by :meth:`bind`).
     """
 
     def __init__(self, network: Network, node_id: str,
-                 peers: Sequence[str] = ()) -> None:
+                 peers: Sequence[str] = (),
+                 store: Optional[Any] = None) -> None:
         self.net = network
         self.id = node_id
         self.peers = [p for p in peers if p != node_id]
         self.inbox = network.node(node_id)
-        self._seq = 0
+        self.store = store
+        self._seq = 0 if store is None else int(store.get("node.seq", 0))
         self._seen: Set[Tuple[str, int]] = set()
         self._pending: List[Msg] = []
         self.duplicates = 0
@@ -100,8 +110,11 @@ class Node:
         return self.net.sched
 
     def stamp(self) -> int:
-        """A fresh per-sender sequence number."""
+        """A fresh per-sender sequence number (persisted when a durable
+        store is attached, so stamps stay monotone across restarts)."""
         self._seq += 1
+        if self.store is not None:
+            self.store.put("node.seq", self._seq)
         return self._seq
 
     # ------------------------------------------------------------------

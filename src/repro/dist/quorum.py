@@ -23,11 +23,39 @@ are there two valid holders, which is exactly what the
 ``no-two-holders-across-partition`` oracle checks from the trace events
 emitted here (``lease_grant``/``lease_deny``/``lease_acquired``/
 ``lease_expired``/``lease_released``).
+
+Two refinements for the combined-fault (crash-restart × partition) story:
+
+* **Fencing tokens** (Aspnes; Kleppmann's lease critique): every server
+  keeps a monotone ``epoch`` that advances each time a grant starts a
+  *new session* (previous grant expired or absent) and stays put across
+  renewals.  A majority acquisition's fencing token is the largest epoch
+  among its grants; because any two majorities intersect, a later
+  session's token is strictly greater than an earlier one's.  The token
+  rides in the ``GRANT`` payload and is checked *at the resource*
+  (:class:`~repro.resilience.fencing.FencedResource`), so a restarted or
+  partitioned stale holder is rejected rather than trusted — validity is
+  a volatile, clock-anchored fact that must not be resurrected from disk.
+* **Durable state**: both halves accept an optional ``store`` (a
+  :class:`~repro.resilience.durable.DurableNamespace`).  A server persists
+  ``(holder, expiry, epoch)`` so a restarted replica cannot double-grant
+  or mint a stale token; what a *client* should persist is deliberately
+  its caller's decision — persisting "I am the holder" without the
+  horizon is exactly the amnesia bug the resilience scenarios provoke.
+
+**Expiry-tie semantics** (pinned, mirroring the timeout-vs-claim tie in
+the channels mechanism): a grant is valid on the half-open interval
+``[grant_tick, expiry)``.  At the exact tick ``now == expiry`` the grant
+is *expired* — a competing acquire arriving on that tick wins, whichever
+side the scheduler happens to run first, because :meth:`LeaseServer.
+_expired` compares ``now >= expiry`` against the shared virtual clock
+rather than racing on wakeup order.  The holder-side view agrees:
+:attr:`QuorumLease.valid` is false once ``now == expires_at``.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 from ..recover.backoff import BackoffLike
 from .protocol import Msg, Node
@@ -47,34 +75,62 @@ class LeaseServer:
         handled = yield from server.handle(msg)
 
     Retransmitted acquires are idempotent: the current holder asking again
-    is re-granted (renewal), anyone else is denied until the grant
-    expires.
+    is re-granted (renewal, same fencing epoch), anyone else is denied
+    until the grant expires.  A grant is valid on ``[grant, expiry)``: at
+    the exact expiry tick a competing acquire already wins (see the module
+    docstring for the pinned tie semantics).
+
+    ``store`` (optional :class:`~repro.resilience.durable.
+    DurableNamespace`) persists ``(holder, expiry, epoch)`` so a restarted
+    server incarnation neither double-grants nor reuses an epoch.
     """
 
-    def __init__(self, node: Node, duration: int = 20) -> None:
+    def __init__(self, node: Node, duration: int = 20,
+                 store: Optional[Any] = None) -> None:
         self.node = node
         self.duration = duration
+        self.store = store
         self.holder: Optional[str] = None
         self.expiry = 0
+        self.epoch = 0
+        if store is not None:
+            self.holder = store.get("lease.holder")
+            self.expiry = store.get("lease.expiry", 0)
+            self.epoch = store.get("lease.epoch", 0)
 
     @property
     def _now(self) -> int:
         return self.node.sched.now
 
     def _expired(self) -> bool:
+        # >= and not >: the expiry tick itself belongs to the challenger.
         return self.holder is None or self._now >= self.expiry
+
+    def _persist(self) -> None:
+        if self.store is not None:
+            self.store.put("lease.holder", self.holder)
+            self.store.put("lease.expiry", self.expiry)
+            self.store.put("lease.epoch", self.epoch)
 
     def handle(self, msg: Msg) -> Generator:
         """Process one message if it is lease traffic.  Returns ``True``
         when consumed, ``False`` when the caller should handle it."""
         if msg.kind == ACQUIRE:
             if self._expired() or msg.src == self.holder:
+                if self._expired():
+                    # A new session (not a renewal): the fencing token
+                    # advances so any still-live older holder is fenceable.
+                    self.epoch += 1
                 self.holder = msg.src
                 self.expiry = self._now + int(msg.payload or self.duration)
+                self._persist()
                 self.node.sched.log(
                     "lease_grant", self.node.id,
-                    {"holder": self.holder, "until": self.expiry})
-                yield from self.node.reply(msg, GRANT, payload=self.expiry)
+                    {"holder": self.holder, "until": self.expiry,
+                     "token": self.epoch})
+                yield from self.node.reply(
+                    msg, GRANT,
+                    payload={"until": self.expiry, "token": self.epoch})
             else:
                 self.node.sched.log(
                     "lease_deny", self.node.id,
@@ -86,6 +142,7 @@ class LeaseServer:
             if msg.src == self.holder:
                 self.holder = None
                 self.expiry = 0
+                self._persist()
             return True
         return False
 
@@ -117,6 +174,10 @@ class QuorumLease:
         self.attempts = attempts
         self.backoff = backoff
         self.expires_at: Optional[int] = None
+        #: Fencing token of the current acquisition: the largest grant
+        #: epoch among the majority.  Majorities intersect, so a later
+        #: session's token is strictly greater than any earlier one's.
+        self.token: Optional[int] = None
         self._granted: List[str] = []
         self._expiry_logged = False
 
@@ -145,6 +206,7 @@ class QuorumLease:
         otherwise (``lease_rejected`` logged; any minority grants are
         released so they age out no slower than they would anyway)."""
         grants: List[int] = []
+        tokens: List[int] = []
         granted: List[str] = []
         for srv in self.servers:
             reply = yield from self.node.try_request(
@@ -152,16 +214,18 @@ class QuorumLease:
                 timeout=self.timeout, attempts=self.attempts,
                 backoff=self.backoff)
             if reply is not None and reply.kind == GRANT:
-                grants.append(int(reply.payload))
+                grants.append(int(reply.payload["until"]))
+                tokens.append(int(reply.payload["token"]))
                 granted.append(srv)
         if len(grants) >= self.majority:
             self.expires_at = min(grants)
+            self.token = max(tokens)
             self._granted = granted
             self._expiry_logged = False
             self.node.sched.log(
                 "lease_acquired", self.node.id,
                 {"grants": len(grants), "of": len(self.servers),
-                 "until": self.expires_at})
+                 "until": self.expires_at, "token": self.token})
             return True
         self.node.sched.log(
             "lease_rejected", self.node.id,
@@ -178,6 +242,7 @@ class QuorumLease:
                 "lease_released", self.node.id,
                 {"at": self.node.sched.now})
         self.expires_at = None
+        self.token = None
         granted, self._granted = self._granted, []
         yield from self._release_servers(granted)
 

@@ -60,6 +60,13 @@ class _Offer:
         self.index = index
 
     def claimable(self) -> bool:
+        # A claim ends in unpark, so the offer's process must still be
+        # parked.  A corpse's offer can linger when nothing breaks the
+        # channel on death (``peer_fault="ignore"``, e.g. a network
+        # mailbox whose receiver was crash-injected): claiming it would
+        # blow up the *deliverer*.  Dead peers mean silence, not poison.
+        if self.proc.state is not ProcessState.BLOCKED:
+            return False
         return self.group is None or not self.group.resolved
 
 

@@ -20,7 +20,7 @@ outcomes (giveups, escalations, degradations).  These are the numbers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core import ascii_table
 from ..runtime.trace import RunResult, Trace
@@ -34,6 +34,8 @@ __all__ = [
     "PartitionRecoveryMetrics",
     "partition_recovery_spans",
     "compute_partition_mttr",
+    "Availability",
+    "compute_availability",
 ]
 
 
@@ -373,3 +375,99 @@ def compute_partition_mttr(
     """Failover and post-heal MTTR from one run's trace."""
     return PartitionRecoveryMetrics(
         spans=partition_recovery_spans(run, recovery_kinds))
+
+
+# ----------------------------------------------------------------------
+# Availability (the combined-fault layer's headline number)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Availability:
+    """Fraction of virtual time a valid leader/holder existed.
+
+    MTTR measures how long each outage lasted; availability measures how
+    much of the run was outage at all — the number that actually degrades
+    when crash-restart and partitions compose (every restart+re-acquire
+    cycle and every quorum-less window subtracts from it).
+    """
+
+    held_ticks: int
+    horizon: int
+    intervals: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def fraction(self) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.held_ticks / float(self.horizon)
+
+    def describe(self) -> str:
+        return "service held {}/{} ticks ({:.0%})".format(
+            self.held_ticks, self.horizon, self.fraction)
+
+
+def _service_intervals(trace: Trace) -> List[List[int]]:
+    """Intervals of "a valid holder/leader exists", from the same trace
+    vocabulary the partition oracles read (kept local — the verify layer
+    imports this module, not the other way around):
+
+    * a lease holder is valid from ``lease_acquired`` to the earlier of
+      its ``until`` horizon and an explicit ``lease_released``;
+    * a leader leads from ``leader_elected`` until its own
+      ``leader_stepdown`` (a leader that never steps down leads to the
+      end of the trace — clipped by the caller's horizon).
+    """
+    intervals: List[List[int]] = []
+    open_lease: Dict[str, List[int]] = {}     # holder -> [start, horizon]
+    open_leader: Dict[str, int] = {}          # leader -> start
+    end = 0
+    for ev in trace:
+        end = max(end, ev.time)
+        if ev.kind == "lease_acquired":
+            if ev.obj in open_lease:
+                start, horizon = open_lease.pop(ev.obj)
+                intervals.append([start, min(horizon, ev.time)])
+            open_lease[ev.obj] = [ev.time, int(ev.detail["until"])]
+        elif ev.kind == "lease_released":
+            if ev.obj in open_lease:
+                start, horizon = open_lease.pop(ev.obj)
+                intervals.append([start, min(horizon, ev.time)])
+        elif ev.kind == "leader_elected":
+            open_leader.setdefault(ev.obj, ev.time)
+        elif ev.kind == "leader_stepdown":
+            if ev.obj in open_leader:
+                intervals.append([open_leader.pop(ev.obj), ev.time])
+    for start, horizon in open_lease.values():
+        intervals.append([start, horizon])
+    for start in open_leader.values():
+        intervals.append([start, end])
+    return intervals
+
+
+def compute_availability(
+    run: Union[RunResult, Trace],
+    horizon: Optional[int] = None,
+) -> Availability:
+    """Union the holder/leader validity intervals and divide by the run
+    horizon (default: the last event's tick).  Overlapping intervals
+    count once — availability asks "did *someone* validly hold the
+    service", not "how many thought they did" (that is the exclusion
+    oracle's question)."""
+    trace = _trace_of(run)
+    if horizon is None:
+        horizon = max((ev.time for ev in trace), default=0)
+    raw = _service_intervals(trace)
+    clipped = sorted(
+        (max(0, s), min(e, horizon)) for s, e in raw)
+    merged: List[List[int]] = []
+    for s, e in clipped:
+        if e <= s:
+            continue
+        if merged and s <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], e)
+        else:
+            merged.append([s, e])
+    held = sum(e - s for s, e in merged)
+    return Availability(
+        held_ticks=held, horizon=horizon,
+        intervals=tuple((s, e) for s, e in merged))

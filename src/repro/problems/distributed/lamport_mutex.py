@@ -22,7 +22,7 @@ Trace vocabulary: ``cs_enter`` / ``cs_exit`` (obj = node), judged by
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ...dist import NetPlan, Network, Node
 from ...runtime.errors import WaitTimeout
@@ -41,16 +41,19 @@ def build_lamport_mutex(
     fault_plan: Optional[FaultPlan] = None,
     deadline: int = 80,
     retry_every: int = 6,
+    nodes: Optional[Sequence[str]] = None,
 ) -> RunResult:
     """Every node requests the critical section exactly once.
 
+    ``nodes`` overrides the membership (the resilience layer runs 5–9
+    node clusters); the default stays the 3-node :data:`LAMPORT_NODES`.
     Returns the finished run; each node's result records whether it got
     in and out (``{"entered": bool, "exited": bool}``).
     """
     sched = Scheduler(policy=policy, preemptive=True, fault_plan=fault_plan)
     net = Network(sched, netplan, latency=1)
     net.start()
-    nodes = list(LAMPORT_NODES)
+    nodes = list(LAMPORT_NODES if nodes is None else nodes)
 
     def member(idx: int, me: str):
         def body():

@@ -24,7 +24,7 @@ Trace vocabulary: ``election_start``, ``leader_elected``,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ...dist import NetPlan, Network, Node
 from ...runtime.errors import WaitTimeout
@@ -45,13 +45,15 @@ def build_leader_election(
     heartbeat_every: int = 5,
     timeout_base: int = 12,
     stagger: int = 4,
+    nodes: Optional[Sequence[str]] = None,
 ) -> RunResult:
     """Run the cluster until ``deadline``; members return their final view
-    (``{"term": t, "leader": bool}``)."""
+    (``{"term": t, "leader": bool}``).  ``nodes`` overrides the
+    membership (index = bully priority) for larger clusters."""
     sched = Scheduler(policy=policy, preemptive=True, fault_plan=fault_plan)
     net = Network(sched, netplan, latency=1)
     net.start()
-    nodes = list(ELECTION_NODES)
+    nodes = list(ELECTION_NODES if nodes is None else nodes)
     majority = len(nodes) // 2 + 1
 
     def member(idx: int, me: str):

@@ -18,7 +18,7 @@ client) on top of the lease events emitted by :mod:`repro.dist.quorum`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ...dist import NetPlan, Network, Node, LeaseServer, QuorumLease
 from ...runtime.errors import WaitTimeout
@@ -40,12 +40,18 @@ def build_quorum_lock(
     duration: int = 18,
     hold: int = 6,
     retry_sleep: int = 5,
+    servers: Optional[Sequence[str]] = None,
+    clients: Optional[Sequence[str]] = None,
 ) -> RunResult:
     """Two clients each try to complete one fenced lock-hold.
 
+    ``servers``/``clients`` override the membership (the resilience
+    layer runs 5+ replica clusters); defaults stay the 3+2 constants.
     A client's result records whether it ever finished a hold without
     losing validity (``{"locked": bool, "aborts": int}``).
     """
+    server_ids = list(LOCK_SERVERS if servers is None else servers)
+    client_ids = list(LOCK_CLIENTS if clients is None else clients)
     sched = Scheduler(policy=policy, preemptive=True, fault_plan=fault_plan)
     net = Network(sched, netplan, latency=1)
     net.start()
@@ -69,7 +75,7 @@ def build_quorum_lock(
     def client(cid: str):
         def body():
             node = Node(net, cid).bind(cid)
-            lease = QuorumLease(node, LOCK_SERVERS, duration=duration,
+            lease = QuorumLease(node, server_ids, duration=duration,
                                 timeout=4, attempts=2)
             aborts = 0
             while sched.now < deadline:
@@ -94,9 +100,9 @@ def build_quorum_lock(
 
         return body
 
-    for sid in LOCK_SERVERS:
+    for sid in server_ids:
         sched.spawn(server(sid), name=sid)
-    for cid in LOCK_CLIENTS:
+    for cid in client_ids:
         sched.spawn(client(cid), name=cid)
     result = sched.run(on_deadlock="return", on_error="record",
                        on_steplimit="return")

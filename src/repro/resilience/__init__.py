@@ -1,0 +1,47 @@
+"""Combined-fault resilience: crash-restart under partitions.
+
+The :mod:`repro.recover` layer restarts crashed processes; the
+:mod:`repro.dist` layer partitions and heals the network.  Each is
+survivable alone.  This package studies their *composition* — the fault
+class where a crashed node restarts with durable state but without its
+volatile guards, inside a partition that blocks it from re-validating —
+and the mechanism that makes the composition safe:
+
+* :mod:`~repro.resilience.durable` — the durable/volatile state split:
+  what a restarted incarnation may trust (:class:`DurableStore`);
+* :mod:`~repro.resilience.fencing` — fencing tokens checked *at the
+  resource* (:class:`FencedResource`), the guard lease validity alone
+  cannot provide;
+* :mod:`~repro.resilience.supervisor` — :class:`NodeSupervisor`,
+  adapting process supervision to network nodes with inbox quarantine
+  on rejoin;
+* :mod:`~repro.resilience.search` — joint fault-plan search over the
+  crash × partition product space with ddmin-minimized mixed witnesses;
+* :mod:`~repro.resilience.report` — the scenario × combined-fault table
+  at 5-node clusters, with MTTR and availability.
+"""
+
+from .durable import DurableNamespace, DurableStore
+from .fencing import FencedResource
+from .supervisor import NodeSupervisor, QUARANTINE, REPLAY
+from .search import (CrashSpec, CutSpec, JointFault, JointSearchResult,
+                     describe_joint, joint_plan, minimize_joint_set,
+                     search_joint_plans)
+from .report import (CombinedOutcome, ResilienceScenarioResult,
+                     RESILIENCE_CLUSTER, classify_run,
+                     expected_resilience_classifications,
+                     explore_resilience_scenario, resilience_report,
+                     resilience_scenarios, search_restart_witness)
+
+__all__ = [
+    "DurableNamespace", "DurableStore",
+    "FencedResource",
+    "NodeSupervisor", "QUARANTINE", "REPLAY",
+    "CrashSpec", "CutSpec", "JointFault", "JointSearchResult",
+    "describe_joint", "joint_plan", "minimize_joint_set",
+    "search_joint_plans",
+    "CombinedOutcome", "ResilienceScenarioResult", "RESILIENCE_CLUSTER",
+    "classify_run", "expected_resilience_classifications",
+    "explore_resilience_scenario", "resilience_report",
+    "resilience_scenarios", "search_restart_witness",
+]

@@ -1,0 +1,85 @@
+"""Fencing enforcement: the resource checks the token, not the holder.
+
+Leases alone cannot protect a shared resource from a holder that is wrong
+about its own validity — a process that crashed mid-hold, restarted with a
+persisted "I hold the lock" record, and resumed writing (or one paused so
+long its lease expired underneath it).  The classic fix (Aspnes' notes;
+Kleppmann's "how to do distributed locking") moves the last line of
+defence *into the resource*: every access carries the holder's fencing
+token (:attr:`repro.dist.quorum.QuorumLease.token`), the resource
+remembers the highest token it has ever accepted, and anything older is
+rejected.  Tokens are monotone across lease sessions (majority
+intersection + per-server epochs), so "older than the highest seen" is
+exactly "a stale session".
+
+:class:`FencedResource` is that resource, with enforcement switchable so
+the verify layer can show both worlds: ``enforce=True`` classifies the
+crash-restart-under-partition scenario *tolerant*, ``enforce=False``
+yields the split-brain witness the joint fault search minimizes.
+
+Trace vocabulary: ``fence_accept`` / ``fence_reject`` (obj = accessor,
+detail = ``{"token": t, "highest": h}``), judged by
+:func:`repro.verify.partition.check_fencing`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..runtime.scheduler import Scheduler
+
+__all__ = ["FencedResource"]
+
+
+class FencedResource:
+    """A shared resource guarded by monotonic fencing tokens.
+
+    Models the storage a lock protects (a disk, a register file): it is
+    reachable regardless of network partitions — which is precisely why
+    lease validity alone is not enough and the token check must live here.
+
+    Args:
+        sched: owning scheduler (accesses are trace events).
+        name: resource label used in trace events.
+        enforce: when ``False`` the token is recorded but never checked —
+            the unfenced world the split-brain witnesses live in.
+    """
+
+    def __init__(self, sched: Scheduler, name: str = "store",
+                 enforce: bool = True) -> None:
+        self.sched = sched
+        self.name = name
+        self.enforce = enforce
+        #: Highest token ever *accepted* (0 = nothing accepted yet).
+        self.highest = 0
+        #: Every accepted write: (tick, accessor, token).
+        self.writes: List[Tuple[int, str, int]] = []
+        self.rejected = 0
+
+    def access(self, who: str, token: int) -> bool:
+        """One guarded access.  Returns ``True`` when accepted.
+
+        Accepted iff the token is no older than the highest token already
+        seen (equal is fine: the same session may write many times).  A
+        rejection tells the caller its session is stale — the correct
+        reaction is to fence out: stop touching the resource and
+        re-acquire.
+        """
+        detail = {"token": token, "highest": self.highest}
+        if self.enforce and token < self.highest:
+            self.rejected += 1
+            self.sched.log("fence_reject", who, detail)
+            return False
+        self.sched.log("fence_accept", who, detail)
+        if token > self.highest:
+            self.highest = token
+        self.writes.append((self.sched.now, who, token))
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "writes": len(self.writes),
+            "rejected": self.rejected,
+            "highest": self.highest,
+            "enforced": self.enforce,
+        }

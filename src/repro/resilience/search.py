@@ -1,0 +1,245 @@
+"""Joint fault-plan search: crash × partition witnesses, ddmin-minimized.
+
+:mod:`repro.recover.search` searches kill sets; the partition report
+sweeps hand-written :class:`NetPlan` cells.  The interesting bugs live in
+the *product* space — a crash alone is survivable (the supervisor
+restarts, the renewal succeeds) and a partition alone is survivable (the
+volatile validity check fences the holder out), but a crash whose
+restarted incarnation comes back *inside* a partition resurrects durable
+state whose volatile guards are gone.  This module enumerates mixed
+fault sets over two atom types:
+
+* :class:`CrashSpec` — kill a process at a virtual-clock tick
+  (``at_time`` rather than ``at_step``, so the same atom means the same
+  thing whichever schedule the builder runs under);
+* :class:`CutSpec` — isolate a node for a window ``[at, heal_at)``.
+
+A candidate set compiles to a ``(FaultPlan, NetPlan)`` pair via
+:func:`joint_plan` — both serializable (``to_dict``) so a found witness
+can be persisted and replayed exactly.  The first defeating set is
+ddmin-minimized with the same chunk-halving loop the kill-set and
+decision-string minimizers use, yielding a 1-minimal combined witness:
+remove any single fault and the bad outcome disappears.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..dist import NetPlan
+from ..runtime.faults import FaultPlan
+from ..runtime.policies import ScriptedPolicy
+from ..runtime.trace import RunResult
+
+__all__ = [
+    "CrashSpec", "CutSpec", "JointFault", "joint_plan",
+    "JointSearchResult", "search_joint_plans", "minimize_joint_set",
+]
+
+#: A dist builder under both plans: (policy, netplan, fault plan) -> run.
+JointBuilder = Callable[
+    [ScriptedPolicy, Optional[NetPlan], Optional[FaultPlan]], RunResult]
+#: Maps a finished run to a classification label (e.g. "split-brain").
+Classifier = Callable[[RunResult], str]
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kill ``process`` once virtual time reaches ``at_time`` (even if it
+    is blocked — crashes do not wait for a convenient step)."""
+
+    process: str
+    at_time: int
+
+    def describe(self) -> str:
+        return "kill {} at t={}".format(self.process, self.at_time)
+
+
+@dataclass(frozen=True)
+class CutSpec:
+    """Isolate ``node`` from every other node on ``[at, heal_at)``
+    (``heal_at=None`` = the partition never heals)."""
+
+    node: str
+    at: int
+    heal_at: Optional[int] = None
+
+    def describe(self) -> str:
+        healed = ("never heals" if self.heal_at is None
+                  else "heals at t={}".format(self.heal_at))
+        return "isolate {} at t={} ({})".format(self.node, self.at, healed)
+
+
+JointFault = Union[CrashSpec, CutSpec]
+
+
+def joint_plan(
+    faults: Sequence[JointFault],
+) -> Tuple[Optional[FaultPlan], Optional[NetPlan]]:
+    """Compile a mixed fault set into its ``(FaultPlan, NetPlan)`` pair
+    (``None`` for an empty side, matching the builders' defaults)."""
+    fault_plan: Optional[FaultPlan] = None
+    netplan: Optional[NetPlan] = None
+    for f in faults:
+        if isinstance(f, CrashSpec):
+            if fault_plan is None:
+                fault_plan = FaultPlan()
+            fault_plan.kill(f.process, at_time=f.at_time)
+        else:
+            if netplan is None:
+                netplan = NetPlan()
+            netplan.isolate(f.node, at=f.at, heal_at=f.heal_at)
+    return fault_plan, netplan
+
+
+def describe_joint(faults: Sequence[JointFault]) -> str:
+    return "; ".join(f.describe() for f in faults)
+
+
+@dataclass
+class JointSearchResult:
+    """Outcome of :func:`search_joint_plans`."""
+
+    tried: int = 0
+    #: Every defeating set found: (fault set, classification label).
+    defeating: List[Tuple[Tuple[JointFault, ...], str]] = field(
+        default_factory=list)
+    #: ddmin-minimized fault set of the first defeating plan (None when
+    #: the scenario tolerated everything tried).
+    witness: Optional[Tuple[JointFault, ...]] = None
+    witness_label: Optional[str] = None
+    minimize_tests: int = 0
+
+    @property
+    def witness_kills(self) -> int:
+        if self.witness is None:
+            return 0
+        return sum(1 for f in self.witness if isinstance(f, CrashSpec))
+
+    @property
+    def witness_cuts(self) -> int:
+        if self.witness is None:
+            return 0
+        return sum(1 for f in self.witness if isinstance(f, CutSpec))
+
+    def witness_plans(self):
+        """The witness compiled to its replayable ``(FaultPlan,
+        NetPlan)`` pair."""
+        if self.witness is None:
+            return None, None
+        return joint_plan(self.witness)
+
+    def describe(self) -> str:
+        if self.witness is None:
+            return ("no combined fault plan defeated the scenario "
+                    "({} tried)".format(self.tried))
+        return "minimal combined witness ({}): {}".format(
+            self.witness_label, describe_joint(self.witness))
+
+    def to_dict(self) -> dict:
+        fp, np = self.witness_plans()
+        return {
+            "tried": self.tried,
+            "defeating": len(self.defeating),
+            "witness": (None if self.witness is None
+                        else [f.describe() for f in self.witness]),
+            "witness_label": self.witness_label,
+            "witness_kills": self.witness_kills,
+            "witness_cuts": self.witness_cuts,
+            "witness_fault_plan": None if fp is None else fp.to_dict(),
+            "witness_net_plan": None if np is None else np.to_dict(),
+            "minimize_tests": self.minimize_tests,
+        }
+
+
+def _joint_defeats(
+    build: JointBuilder,
+    classify: Classifier,
+    faults: Sequence[JointFault],
+    bad_labels: Sequence[str],
+) -> Optional[str]:
+    """The label a fault set earns, or ``None`` when the run ends well."""
+    fault_plan, netplan = joint_plan(faults)
+    label = classify(build(ScriptedPolicy([]), netplan, fault_plan))
+    return label if label in bad_labels else None
+
+
+def search_joint_plans(
+    build: JointBuilder,
+    classify: Classifier,
+    crashes: Sequence[CrashSpec],
+    cuts: Sequence[CutSpec],
+    bad_labels: Sequence[str] = ("split-brain", "wedged"),
+    max_faults: int = 2,
+    budget: int = 120,
+    minimize: bool = True,
+) -> JointSearchResult:
+    """Search 1..``max_faults``-sized mixed sets over the candidate atoms;
+    ddmin-minimize the first one that defeats the scenario.
+
+    Candidates are enumerated deterministically, singletons first (so the
+    search itself proves no single fault suffices before trying pairs),
+    crashes before cuts within each size.
+    """
+    atoms: List[JointFault] = list(crashes) + list(cuts)
+    result = JointSearchResult()
+    for size in range(1, max_faults + 1):
+        for combo in itertools.combinations(atoms, size):
+            if result.tried >= budget:
+                break
+            result.tried += 1
+            label = _joint_defeats(build, classify, combo, bad_labels)
+            if label is not None:
+                result.defeating.append((combo, label))
+        if result.tried >= budget:
+            break
+    if result.defeating and minimize:
+        faults, label = result.defeating[0]
+        witness, tests = minimize_joint_set(
+            build, classify, faults, bad_labels)
+        result.witness = witness
+        result.witness_label = label
+        result.minimize_tests = tests
+    return result
+
+
+def minimize_joint_set(
+    build: JointBuilder,
+    classify: Classifier,
+    faults: Sequence[JointFault],
+    bad_labels: Sequence[str] = ("split-brain", "wedged"),
+) -> Tuple[Tuple[JointFault, ...], int]:
+    """ddmin over the mixed fault set: (1-minimal set, tests run).
+
+    1-minimal: removing any single remaining fault — crash *or* cut —
+    makes the bad outcome disappear, so every fault in the witness is
+    load-bearing across both fault domains.
+    """
+    tests = 0
+
+    def still_bad(subset: Sequence[JointFault]) -> bool:
+        nonlocal tests
+        if not subset:
+            return False
+        tests += 1
+        return _joint_defeats(build, classify, subset, bad_labels) is not None
+
+    current = list(faults)
+    chunks = 2
+    while len(current) >= 2:
+        size = max(1, len(current) // chunks)
+        reduced = False
+        for start in range(0, len(current), size):
+            candidate = current[:start] + current[start + size:]
+            if still_bad(candidate):
+                current = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if size == 1:
+                break
+            chunks = min(chunks * 2, len(current))
+    return tuple(current), tests

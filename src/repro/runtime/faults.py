@@ -81,6 +81,32 @@ class Fault:
         return "drop signal #{} on {}".format(
             self.nth, "any object" if self.obj == "*" else self.obj)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Portable form (runtime state — ``fired`` — excluded)."""
+        out: Dict[str, Any] = {"action": self.action}
+        for key in ("process", "at_step", "on_entry", "at_time", "obj"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.action == "delay":
+            out["ticks"] = self.ticks
+        if self.action == "drop":
+            out["nth"] = self.nth
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Fault":
+        return cls(
+            action=data["action"],
+            process=data.get("process"),
+            at_step=data.get("at_step"),
+            on_entry=data.get("on_entry"),
+            at_time=data.get("at_time"),
+            ticks=int(data.get("ticks", 0)),
+            obj=data.get("obj"),
+            nth=int(data.get("nth", 1)),
+        )
+
 
 class FaultPlan:
     """A deterministic script of faults, consulted by the scheduler.
@@ -226,6 +252,21 @@ class FaultPlan:
     def describe(self) -> List[str]:
         """Human-readable rendering of every scripted fault."""
         return [f.describe() for f in self.faults]
+
+    # ------------------------------------------------------------------
+    # Serialization (run store / witness persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-portable form of the *script* (no runtime state): a plan
+        round-trips through ``FaultPlan.from_dict(plan.to_dict())`` into an
+        exactly-replayable equal script."""
+        return {"faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        plan = cls()
+        plan.faults = [Fault.from_dict(f) for f in data.get("faults", [])]
+        return plan
 
     def __repr__(self) -> str:
         return "<FaultPlan [{}]>".format("; ".join(self.describe()))

@@ -37,9 +37,10 @@ from ..runtime.faults import FaultPlan
 from ..runtime.policies import ScriptedPolicy
 from ..runtime.trace import RunResult, Trace
 from ..explore.engine import ExplorationEngine
-from ..problems.distributed import (ELECTION_NODES, LAMPORT_NODES,
-                                    LOCK_CLIENTS, build_lamport_mutex,
-                                    build_leader_election, build_quorum_lock)
+
+# The scenario builders are imported lazily (inside the predicates and
+# the scenario table): problems.distributed reaches back here through
+# the resilience layer, and a module-level import would cycle.
 
 #: A dist builder: fresh system under (policy, netplan, fault plan).
 DistBuilder = Callable[
@@ -91,6 +92,28 @@ def check_lease_exclusion(run: RunResult) -> List[str]:
             messages.append(
                 "two lease holders at once: {} valid [{}, {}) and {} "
                 "valid [{}, {})".format(h1, s1, e1, h2, s2, e2))
+    return messages
+
+
+def check_fencing(run: RunResult) -> List[str]:
+    """Fencing tokens must be respected at the resource: once the
+    resource has accepted a write with token ``t``, accepting a write
+    with a *smaller* token from a different actor means a stale session
+    touched the data after its successor — the split-brain signature of
+    the crash-restart-under-partition scenarios.  Judged over
+    ``fence_accept`` events (rejections are the mechanism *working*)."""
+    messages: List[str] = []
+    highest = 0
+    highest_by: Optional[str] = None
+    for ev in run.trace.filter(kind="fence_accept"):
+        token = int(ev.detail["token"])
+        if token < highest and ev.obj != highest_by:
+            messages.append(
+                "fencing violated: {} wrote with stale token {} after "
+                "{} wrote with token {} (seq {})".format(
+                    ev.obj, token, highest_by, highest, ev.seq))
+        if token > highest:
+            highest, highest_by = token, ev.obj
     return messages
 
 
@@ -168,6 +191,8 @@ def make_progress_after_heal(
 
 def lamport_succeeded(run: RunResult) -> bool:
     """Every node completed its critical-section pass."""
+    from ..problems.distributed import LAMPORT_NODES
+
     return all(
         isinstance(run.results.get(n), dict)
         and run.results[n].get("exited")
@@ -177,6 +202,8 @@ def lamport_succeeded(run: RunResult) -> bool:
 
 def quorum_lock_succeeded(run: RunResult) -> bool:
     """Some client completed a fenced hold (the lock stayed usable)."""
+    from ..problems.distributed import LOCK_CLIENTS
+
     return any(
         isinstance(run.results.get(c), dict)
         and run.results[c].get("locked")
@@ -186,6 +213,8 @@ def quorum_lock_succeeded(run: RunResult) -> bool:
 
 def election_succeeded(run: RunResult) -> bool:
     """A leader was elected and someone still leads at the end."""
+    from ..problems.distributed import ELECTION_NODES
+
     if run.trace.first(kind="leader_elected") is None:
         return False
     return any(
@@ -263,6 +292,23 @@ class PartitionScenarioResult:
                 self.name, o.plan_name, o.expected, o.classification)
             for o in self.outcomes if o.classification != o.expected
         ]
+
+    @property
+    def mttr_failover(self) -> Optional[float]:
+        """Scenario-level failover MTTR: mean over every plan cell's
+        samples (not a mean of means — cells contribute their weight)."""
+        samples = [s for o in self.outcomes for s in o.failover_samples]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
+
+    @property
+    def mttr_post_heal(self) -> Optional[float]:
+        """Scenario-level post-heal MTTR over every plan cell's samples."""
+        samples = [s for o in self.outcomes for s in o.post_heal_samples]
+        if not samples:
+            return None
+        return sum(samples) / float(len(samples))
 
 
 def explore_partition_scenario(
@@ -394,16 +440,22 @@ def _election_plans() -> List[PlanCell]:
     ]
 
 
-#: (scenario name, builder, safety oracle, success predicate,
-#: plan-set factory)
-PARTITION_SCENARIOS = [
-    ("lamport_mutex", build_lamport_mutex, check_mutex_intervals,
-     lamport_succeeded, _lamport_plans),
-    ("quorum_lock", build_quorum_lock, check_lease_exclusion,
-     quorum_lock_succeeded, _quorum_lock_plans),
-    ("leader_election", build_leader_election, check_at_most_one_leader,
-     election_succeeded, _election_plans),
-]
+def partition_scenarios() -> List[Tuple]:
+    """(scenario name, builder, safety oracle, success predicate,
+    plan-set factory) — built per call so the builder import stays
+    lazy (see the module-top import note)."""
+    from ..problems.distributed import (build_lamport_mutex,
+                                        build_leader_election,
+                                        build_quorum_lock)
+
+    return [
+        ("lamport_mutex", build_lamport_mutex, check_mutex_intervals,
+         lamport_succeeded, _lamport_plans),
+        ("quorum_lock", build_quorum_lock, check_lease_exclusion,
+         quorum_lock_succeeded, _quorum_lock_plans),
+        ("leader_election", build_leader_election, check_at_most_one_leader,
+         election_succeeded, _election_plans),
+    ]
 
 
 def partition_report(
@@ -412,7 +464,7 @@ def partition_report(
     """Run every scenario × plan cell; return (results, rendered table)."""
     budget = 2 if fast else 6
     results = []
-    for name, build, safety, success, plan_factory in PARTITION_SCENARIOS:
+    for name, build, safety, success, plan_factory in partition_scenarios():
         results.append(explore_partition_scenario(
             name, build, plan_factory(), safety, success,
             max_runs_per_plan=budget,
@@ -447,7 +499,7 @@ def expected_partition_classifications() -> Dict[Tuple[str, str], str]:
     """(scenario, plan) -> predicted classification, for the regression
     tests."""
     out: Dict[Tuple[str, str], str] = {}
-    for name, __, __, __, plan_factory in PARTITION_SCENARIOS:
+    for name, __, __, __, plan_factory in partition_scenarios():
         for plan_name, __, expected, __ in plan_factory():
             out[(name, plan_name)] = expected
     return out

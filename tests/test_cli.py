@@ -117,8 +117,16 @@ def test_partition_json_schema_golden(capsys):
         "lamport_mutex", "quorum_lock", "leader_election",
     ]
     for scenario in payload["scenarios"]:
-        assert set(scenario) == {"name", "runs", "plans"}, scenario["name"]
+        assert set(scenario) == {
+            "name", "runs", "mttr_failover", "mttr_post_heal", "plans",
+        }, scenario["name"]
         assert scenario["runs"] > 0
+        # Scenario-level MTTR aggregates every plan cell's samples; the
+        # quorum scenarios have healing-partition plans, so they must
+        # surface at least one leg as a number.
+        if scenario["name"] != "lamport_mutex":
+            assert (scenario["mttr_failover"] is not None
+                    or scenario["mttr_post_heal"] is not None)
         assert [p["plan"] for p in scenario["plans"]] == [
             "clean", "lossy", "partition-heal", "partition-forever",
         ]
@@ -134,6 +142,79 @@ def test_partition_json_schema_golden(capsys):
             assert {"sent", "delivered", "inbox_peak"} <= set(stats)
             assert stats["sent"] >= stats["delivered"]
             assert all(peak >= 1 for peak in stats["inbox_peak"].values())
+
+
+def test_resilience_command_fast(capsys):
+    code, out = run_cli(capsys, "resilience", "--fast")
+    assert code == 0
+    assert "Combined-fault resilience at 5 nodes" in out
+    assert "restart_lock_unfenced" in out
+    assert "all combined-fault classifications match" in out
+
+
+def test_resilience_command_search(capsys):
+    code, out = run_cli(capsys, "resilience", "--fast", "--search")
+    assert code == 0
+    assert "minimal combined witness" in out
+    assert "kill c0" in out
+    assert "partition-tolerant" in out  # the fenced replay of the witness
+
+
+def test_resilience_json_schema_golden(capsys):
+    # Golden schema lock, mirroring the partition one: the resilience
+    # JSON is the E22 CI artifact, so key sets are asserted exactly.
+    import json
+
+    code, out = run_cli(capsys, "resilience", "--fast", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"scenarios", "surprises"}
+    assert payload["surprises"] == []
+    assert [s["name"] for s in payload["scenarios"]] == [
+        "lamport_mutex", "quorum_lock", "leader_election",
+        "restart_lock", "restart_lock_unfenced",
+    ]
+    for scenario in payload["scenarios"]:
+        assert set(scenario) == {
+            "name", "cluster", "runs", "mttr_failover", "mttr_post_heal",
+            "availability", "cells",
+        }, scenario["name"]
+        assert scenario["cluster"] == 5
+        assert scenario["runs"] > 0
+        for cell in scenario["cells"]:
+            assert set(cell) == {
+                "cell", "faults", "expected", "runs", "restarts",
+                "split_brain", "wedged", "tolerant", "violations",
+                "mttr_failover", "mttr_post_heal", "availability",
+                "message_stats", "classification",
+            }, (scenario["name"], cell["cell"])
+            assert cell["classification"] == cell["expected"]
+    # The two fencing worlds of the same combined faults are both on
+    # display: tolerant fenced, split-brain unfenced.
+    by_name = {s["name"]: s for s in payload["scenarios"]}
+    fenced = {c["cell"]: c for c in by_name["restart_lock"]["cells"]}
+    assert fenced["crash+partition"]["classification"] == "partition-tolerant"
+    assert fenced["crash+partition"]["restarts"] >= 1
+    (unfenced,) = by_name["restart_lock_unfenced"]["cells"]
+    assert unfenced["classification"] == "split-brain"
+    assert len(unfenced["violations"]) > 0
+
+
+def test_resilience_json_search_block(capsys):
+    import json
+
+    code, out = run_cli(capsys, "resilience", "--fast", "--search",
+                        "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"scenarios", "surprises", "search"}
+    search = payload["search"]
+    assert search["witness_kills"] == 1
+    assert search["witness_cuts"] == 1
+    assert search["witness_label"] == "split-brain"
+    assert search["fenced_replay"] == "partition-tolerant"
+    assert search["witness_fault_plan"] is not None
+    assert search["witness_net_plan"] is not None
 
 
 def test_load_command_fast(capsys):

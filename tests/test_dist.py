@@ -98,6 +98,31 @@ class TestNetPlanVerdicts:
         with pytest.raises(ValueError):
             NetPlan().partition(["a"], at=5, heal_at=5)
 
+    def test_dict_round_trip(self):
+        # Joint fault plans persist their witnesses as dicts (the
+        # resilience search, BENCH_resilience.json), so serialization
+        # must reconstruct a behaviourally identical plan.
+        plan = (NetPlan()
+                .drop("a", "b", nth=2)
+                .duplicate("*", "b")
+                .delay("a", "*", ticks=4, nth=3)
+                .reorder("a", "b")
+                .isolate("n0", at=1, heal_at=9)
+                .partition(["x"], ["y"], at=3))
+        clone = NetPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.describe() == plan.describe()
+        # The clone starts with fresh counters and tracks the original
+        # verdict-for-verdict across every rule kind.
+        traffic = [("a", "b"), ("a", "b"), ("a", "b"),
+                   ("a", "q"), ("a", "q"), ("c", "b"), ("c", "b")]
+        assert ([clone.verdict(s, d, 0) for s, d in traffic]
+                == [plan.verdict(s, d, 0) for s, d in traffic])
+        assert clone.partitioned("n0", "n1", 8)
+        assert not clone.partitioned("n0", "n1", 9)
+        assert clone.partitioned("x", "y", 3)
+        assert clone.schedule_ticks() == plan.schedule_ticks()
+
 
 # ----------------------------------------------------------------------
 # Network: fault application is trace-visible and counted
@@ -459,3 +484,77 @@ class TestQuorumLease:
         result = sched.run(on_deadlock="return")
         assert result.results["c0"] is True
         assert result.results["c1"] == (False, True)
+
+    @pytest.mark.parametrize("holder_first", [True, False])
+    def test_expiry_tick_tie_challenger_wins(self, holder_first):
+        # Mirrors the timeout-vs-claim tie test in test_channels.py: the
+        # grant interval is HALF-OPEN, [grant, grant+duration).  An
+        # ACQUIRE handled at exactly the expiry tick starts a new session
+        # (fresh fencing epoch) whichever process was spawned first, and
+        # the old holder's client-side ``valid`` is already false at that
+        # same tick — server and client agree there is no overlap.
+        sched = Scheduler()
+        net = Network(sched)
+        _lease_cluster(sched, net, servers=("s0",), duration=10)
+
+        def holder():
+            node = Node(net, "c0").bind("c0")
+            lease = QuorumLease(node, ["s0"], duration=10, timeout=4,
+                                attempts=1)
+            ok = yield from lease.acquire()
+            assert ok
+            yield from sched.sleep(lease.expires_at - sched.now)
+            return (lease.token, lease.valid)
+
+        def challenger():
+            yield from sched.sleep(10)  # land exactly on the expiry tick
+            node = Node(net, "c1").bind("c1")
+            lease = QuorumLease(node, ["s0"], duration=10, timeout=4,
+                                attempts=1)
+            ok = yield from lease.acquire()
+            return (ok, lease.token)
+
+        order = [("c0", holder), ("c1", challenger)]
+        if not holder_first:
+            order.reverse()
+        for name, body in order:
+            sched.spawn(body, name=name)
+        result = sched.run(on_deadlock="return")
+        # Challenger wins with a strictly larger token; no rejection.
+        assert result.results["c0"] == (1, False)
+        assert result.results["c1"] == (True, 2)
+        assert len(result.trace.filter(kind="lease_grant")) == 2
+        assert len(result.trace.filter(kind="lease_rejected")) == 0
+
+    @pytest.mark.parametrize("holder_first", [True, False])
+    def test_one_tick_before_expiry_holder_still_wins(self, holder_first):
+        # The control for the tie test above: one tick inside the
+        # half-open interval the challenger is rejected.
+        sched = Scheduler()
+        net = Network(sched)
+        _lease_cluster(sched, net, servers=("s0",), duration=10)
+
+        def holder():
+            node = Node(net, "c0").bind("c0")
+            lease = QuorumLease(node, ["s0"], duration=10, timeout=4,
+                                attempts=1)
+            ok = yield from lease.acquire()
+            return ok
+
+        def challenger():
+            yield from sched.sleep(9)
+            node = Node(net, "c1").bind("c1")
+            lease = QuorumLease(node, ["s0"], duration=10, timeout=4,
+                                attempts=1)
+            ok = yield from lease.acquire()
+            return ok
+
+        order = [("c0", holder), ("c1", challenger)]
+        if not holder_first:
+            order.reverse()
+        for name, body in order:
+            sched.spawn(body, name=name)
+        result = sched.run(on_deadlock="return")
+        assert result.results["c0"] is True
+        assert result.results["c1"] is False
+        assert len(result.trace.filter(kind="lease_rejected")) == 1

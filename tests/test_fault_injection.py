@@ -246,6 +246,28 @@ class TestFaultPlanWildcardAndDescribe:
         assert "drop signal #2 on any object" in rendered
         assert "drop signal #1 on c" in rendered
 
+    def test_dict_round_trip(self):
+        # The resilience search serializes its crash witnesses (the
+        # BENCH_resilience.json artifact), so the dict form must rebuild
+        # a plan that describes — and therefore fires — identically.
+        plan = (FaultPlan()
+                .kill("P0", at_step=2)
+                .kill("P1", on_entry="m")
+                .kill("P2", at_time=9)
+                .delay_wakeups("sup", ticks=3)
+                .drop_signal("c", nth=2))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.describe() == plan.describe()
+        # Behavioural spot-checks on the rebuilt triggers.
+        clone.begin()
+        assert clone.kill_due("P2", steps=0, now=9) is not None
+        assert clone.kill_due("P3", steps=0, now=9) is None
+        assert clone.wake_delay("sup") == 3
+        assert clone.wake_delay("P0") == 0
+        assert not clone.should_drop("c")
+        assert clone.should_drop("c")
+
 
 # ----------------------------------------------------------------------
 # Channel quarantine lift (crash_reclaim) edge cases

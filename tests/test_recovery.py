@@ -33,6 +33,7 @@ from repro.recover import (
 from repro.runtime import (
     FaultPlan,
     Mutex,
+    RandomPolicy,
     Scheduler,
     Semaphore,
     WaitTimeout,
@@ -191,6 +192,42 @@ class TestSupervisor:
         restart = sched.trace.filter(kind="restart", obj="P0")[0]
         killed = sched.trace.filter(kind="killed", obj="P0")[0]
         assert restart.time - killed.time == 7
+
+    def test_backoff_composes_with_injected_wakeup_delay(self):
+        # The supervisor's own wakeups are fault-injectable: with
+        # ``delay_wakeups("sup", 3)`` the death notification that unparks
+        # the supervisor lands 3 ticks late, and only then does the
+        # backoff timer start — so the restart gap is backoff + delay,
+        # not max(backoff, delay).  The timing fingerprint must be
+        # identical under different random schedules: every leg is
+        # virtual-time, so scheduling noise cannot leak into it.
+        def gap(seed, delayed):
+            plan = FaultPlan().kill("P0", at_time=10)
+            if delayed:
+                plan.delay_wakeups("sup", ticks=3)
+            sched = Scheduler(policy=RandomPolicy(seed), fault_plan=plan)
+            sup = Supervisor(sched, RestartPolicy(backoff=FixedBackoff(5)))
+
+            def victim():
+                yield from sched.sleep(20)
+
+            def sibling():
+                yield from sched.sleep(30)
+
+            sup.child("P0", victim)
+            sup.child("P1", sibling)
+            sup.start()
+            result = sched.run(on_deadlock="return", on_error="record")
+            killed = result.trace.filter(kind="killed", obj="P0")[0]
+            restart = result.trace.filter(kind="restart", obj="P0")[0]
+            if delayed:
+                assert result.trace.first(kind="wake_delayed") is not None
+            assert sup.report()["children"]["P0"]["state"] == "done"
+            return restart.time - killed.time
+
+        assert [gap(seed, True) for seed in (1, 2)] == [8, 8]
+        # Control: without injection the gap is the bare backoff.
+        assert [gap(seed, False) for seed in (1, 2)] == [5, 5]
 
     def test_restart_budget_gives_up(self):
         # P0 is killed twice (second kill targets the restarted
